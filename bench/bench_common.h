@@ -1,0 +1,26 @@
+// Shared helpers for the per-figure bench binaries.
+//
+// Every binary prints paper-style rows to stdout and writes a CSV next to
+// the executable. DSCT_BENCH_FULL=1 switches from quick defaults to
+// paper-scale parameters.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace dsct::bench {
+
+inline bool fullScale() {
+  const char* env = std::getenv("DSCT_BENCH_FULL");
+  return env != nullptr && std::string(env) == "1";
+}
+
+inline void printHeader(const std::string& title, const std::string& source) {
+  std::cout << "==== " << title << " ====\n"
+            << "reproduces: " << source << '\n'
+            << "mode: " << (fullScale() ? "full (paper scale)" : "quick")
+            << " — set DSCT_BENCH_FULL=1 for paper-scale parameters\n\n";
+}
+
+}  // namespace dsct::bench

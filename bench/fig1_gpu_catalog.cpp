@@ -1,0 +1,41 @@
+// Figure 1: energy efficiency vs speed for server GPUs.
+//
+// Prints the embedded catalog (the synthetic stand-in for Desislavov et
+// al.'s survey data) and the fitted linear trend the paper reads off the
+// figure.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "util/csv.h"
+#include "util/table.h"
+#include "workload/gpu_catalog.h"
+
+int main() {
+  using namespace dsct;
+  bench::printHeader("Figure 1 — GPU efficiency vs speed",
+                     "Desislavov et al. survey trend (paper Fig. 1)");
+
+  Table table({"gpu", "speed (TFLOPS)", "efficiency (GFLOPS/W)", "power (W)"});
+  CsvWriter csv("fig1_gpu_catalog.csv",
+                {"gpu", "speed_tflops", "efficiency_gflops_per_watt",
+                 "power_watts"});
+  for (const GpuSpec& gpu : gpuCatalog()) {
+    const Machine machine = gpu.toMachine();
+    table.addRow({gpu.name, formatFixed(gpu.speedTflops, 1),
+                  formatFixed(gpu.efficiencyGflopsPerWatt, 1),
+                  formatFixed(machine.power(), 0)});
+    csv.addRow(std::vector<std::string>{
+        gpu.name, formatFixed(gpu.speedTflops, 3),
+        formatFixed(gpu.efficiencyGflopsPerWatt, 3),
+        formatFixed(machine.power(), 3)});
+  }
+  table.print(std::cout);
+
+  const LinearTrend trend = efficiencyTrend();
+  std::cout << "\nlinear trend: efficiency ≈ " << formatFixed(trend.intercept, 2)
+            << " + " << formatFixed(trend.slope, 2)
+            << " · speed   (R² = " << formatFixed(trend.r2, 3) << ")\n"
+            << "paper's reading: devices improve roughly linearly in "
+               "efficiency with speed — confirmed by the trend above.\n";
+  return 0;
+}

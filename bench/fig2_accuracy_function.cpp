@@ -1,0 +1,52 @@
+// Figure 2: Once-for-All accuracy vs number of floating-point operations.
+//
+// Prints the exponential accuracy model (the analytic stand-in for measured
+// ofa-resnet curves) alongside its 5-segment piecewise-linear fit — the
+// accuracy functions every experiment uses.
+#include <iostream>
+
+#include "accuracy/exponential.h"
+#include "accuracy/fit.h"
+#include "bench/bench_common.h"
+#include "util/csv.h"
+#include "util/table.h"
+#include "workload/generator.h"
+
+int main() {
+  using namespace dsct;
+  bench::printHeader("Figure 2 — accuracy vs FLOPs (OFA-ResNet model)",
+                     "paper Fig. 2 / Section 3.1 accuracy functions");
+
+  const double amin = GeneratorDefaults::kAmin;
+  const double amax = GeneratorDefaults::kAmax;
+  const double theta = 0.1;  // the paper's θ_min
+  const ExponentialAccuracyModel model(amin, amax, theta);
+  const PiecewiseLinearAccuracy fit = makePaperAccuracy(amin, amax, theta);
+
+  Table table({"flops (TFLOP)", "exponential a(f)", "5-segment fit",
+               "fit marginal gain"});
+  CsvWriter csv("fig2_accuracy_function.csv",
+                {"flops_tflop", "exponential", "piecewise_fit",
+                 "marginal_gain"});
+  const int samples = 25;
+  for (int i = 0; i <= samples; ++i) {
+    const double f =
+        fit.fmax() * static_cast<double>(i) / static_cast<double>(samples);
+    table.addRow(std::vector<double>{f, model.value(f), fit.value(f),
+                                     fit.marginalGain(f)});
+    csv.addRow(std::vector<double>{f, model.value(f), fit.value(f),
+                                   fit.marginalGain(f)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nsegments (slope over [fLo, fHi]):\n";
+  for (int k = 0; k < fit.numSegments(); ++k) {
+    const AccuracySegment seg = fit.segment(k);
+    std::cout << "  k=" << k << ": slope " << formatFixed(seg.slope, 4)
+              << " over [" << formatFixed(seg.fLo, 2) << ", "
+              << formatFixed(seg.fHi, 2) << "] TFLOP\n";
+  }
+  std::cout << "f_max = " << formatFixed(fit.fmax(), 2)
+            << " TFLOP reaches a_max = " << formatFixed(fit.amax(), 3) << '\n';
+  return 0;
+}

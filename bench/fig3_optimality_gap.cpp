@@ -1,0 +1,44 @@
+// Figure 3: optimality gap of DSCT-EA-APPROX vs task heterogeneity μ.
+//
+// Paper setting: n = 100 tasks, m = 5 machines, ρ = 0.35, β = 0.5,
+// μ ∈ [5, 20], 100 replications per point; mean/min/max of the gap
+// (UB − SOL, total accuracy) compared against the pessimistic bound G.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "experiments/runner.h"
+#include "experiments/scenarios.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+int main() {
+  using namespace dsct;
+  bench::printHeader("Figure 3 — optimality gap vs task heterogeneity",
+                     "paper Fig. 3 (n=100, m=5, rho=0.35, beta=0.5)");
+
+  Fig3Config config;
+  if (!bench::fullScale()) {
+    config.numTasks = 60;
+    config.replications = 20;
+  }
+  config.muValues = {5.0, 7.5, 10.0, 12.5, 15.0, 17.5, 20.0};
+
+  ExperimentRunner runner;
+  const auto rows = runFig3(config, runner);
+
+  Table table({"mu", "gap mean", "gap min", "gap max", "bound G (mean)",
+               "gap/G"});
+  CsvWriter csv("fig3_optimality_gap.csv",
+                {"mu", "gap_mean", "gap_min", "gap_max", "guarantee_mean"});
+  for (const Fig3Row& row : rows) {
+    table.addRow(std::vector<double>{
+        row.mu, row.gap.mean(), row.gap.min(), row.gap.max(),
+        row.guarantee.mean(), row.gap.mean() / row.guarantee.mean()});
+    csv.addRow(std::vector<double>{row.mu, row.gap.mean(), row.gap.min(),
+                                   row.gap.max(), row.guarantee.mean()});
+  }
+  table.print(std::cout);
+  std::cout << "\npaper's message: the average gap stays far below the "
+               "pessimistic bound G of Eq. (13)/(14) — see gap/G column.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 6: energy profiles of two heterogeneous machines vs β.
+//   (a) Uniform tasks (θ uniform in [0.1, 4.9])
+//   (b) Earliest-high-efficient tasks (first 30% with θ∈[4.0,4.9])
+// Machine 1: 2 TFLOPS @ 80 GFLOPS/W (slow, efficient);
+// machine 2: 5 TFLOPS @ 70 GFLOPS/W (fast, less efficient); ρ = 0.01.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "experiments/runner.h"
+#include "experiments/scenarios.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace {
+
+void runScenario(bool earliestHigh, const char* label) {
+  using namespace dsct;
+  Fig6Config config;
+  config.earliestHighEfficient = earliestHigh;
+  if (bench::fullScale()) {
+    config.replications = 20;
+  } else {
+    config.numTasks = 60;
+    config.replications = 5;
+  }
+
+  ExperimentRunner runner;
+  const auto rows = runFig6(config, runner);
+
+  std::cout << "--- " << label << " ---\n";
+  Table table({"beta", "p1 (s)", "p2 (s)", "p1 naive", "p2 naive", "d_max"});
+  CsvWriter csv(std::string("fig6_energy_profiles_") +
+                    (earliestHigh ? "b" : "a") + ".csv",
+                {"beta", "p1", "p2", "p1_naive", "p2_naive", "dmax"});
+  for (const Fig6Row& row : rows) {
+    table.addRow(std::vector<double>{row.beta, row.profile1.mean(),
+                                     row.profile2.mean(),
+                                     row.naiveProfile1.mean(),
+                                     row.naiveProfile2.mean(), row.dmax});
+    csv.addRow(std::vector<double>{row.beta, row.profile1.mean(),
+                                   row.profile2.mean(),
+                                   row.naiveProfile1.mean(),
+                                   row.naiveProfile2.mean(), row.dmax});
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  using namespace dsct;
+  bench::printHeader("Figure 6 — energy profiles of 2 machines vs beta",
+                     "paper Fig. 6a/6b (rho=0.01, heterogeneous machines)");
+  runScenario(false, "Fig. 6a: Uniform Tasks");
+  runScenario(true, "Fig. 6b: Earliest High Efficient Tasks");
+  std::cout << "paper's message: with uniform tasks the computed profile "
+               "tracks the naive one; with earliest-high-efficient tasks the"
+               " refinement moves workload onto the fast machine 2 at small "
+               "beta.\n";
+  return 0;
+}

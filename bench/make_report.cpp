@@ -1,0 +1,21 @@
+// Runs the experiment suite and writes REPORT.md next to the binary — the
+// machine-written companion to EXPERIMENTS.md (quick mode by default;
+// DSCT_BENCH_FULL=1 for paper scale; timing sections then take a while).
+#include <fstream>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "experiments/report.h"
+
+int main() {
+  using namespace dsct;
+  bench::printHeader("Report generator", "all tables/figures in one file");
+  ReportConfig config;
+  config.fullScale = bench::fullScale();
+  ExperimentRunner runner;
+  const std::string report = generateReport(config, runner);
+  std::ofstream out("REPORT.md");
+  out << report;
+  std::cout << report << "\nwritten to REPORT.md\n";
+  return 0;
+}

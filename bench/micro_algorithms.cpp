@@ -1,0 +1,85 @@
+// Microbenchmarks (google-benchmark) for the core algorithmic kernels:
+// Algorithm 1, ComputeNaiveSolution, RefineProfile, full FR-OPT, APPROX
+// rounding, and the simplex on the fractional LP.
+#include <benchmark/benchmark.h>
+
+#include "mipmodel/dsct_lp.h"
+#include "sched/approx.h"
+#include "sched/fr_opt.h"
+#include "sched/naive_solution.h"
+#include "sched/single_machine.h"
+#include "solver/simplex.h"
+#include "workload/generator.h"
+
+namespace dsct {
+namespace {
+
+Instance makeBenchInstance(int n, int m) {
+  ScenarioSpec spec;
+  spec.numTasks = n;
+  spec.numMachines = m;
+  spec.rho = 0.35;
+  spec.beta = 0.5;
+  return makeScenario(spec, 0.1, 1.0, 42);
+}
+
+void BM_SingleMachine(benchmark::State& state) {
+  const Instance inst = makeBenchInstance(static_cast<int>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        scheduleSingleMachine(inst.tasks(), inst.machine(0).speed));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SingleMachine)->Range(16, 1024)->Complexity();
+
+void BM_NaiveSolution(benchmark::State& state) {
+  const Instance inst = makeBenchInstance(static_cast<int>(state.range(0)), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(computeNaiveSolution(inst));
+  }
+}
+BENCHMARK(BM_NaiveSolution)->Range(16, 512);
+
+void BM_FrOpt(benchmark::State& state) {
+  const Instance inst = makeBenchInstance(static_cast<int>(state.range(0)), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solveFrOpt(inst));
+  }
+}
+BENCHMARK(BM_FrOpt)->Range(16, 256);
+
+void BM_Approx(benchmark::State& state) {
+  const Instance inst = makeBenchInstance(static_cast<int>(state.range(0)), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solveApprox(inst));
+  }
+}
+BENCHMARK(BM_Approx)->Range(16, 256);
+
+void BM_RefineProfileOnly(benchmark::State& state) {
+  const Instance inst = makeBenchInstance(static_cast<int>(state.range(0)), 5);
+  const NaiveSolution naive = computeNaiveSolution(inst);
+  for (auto _ : state) {
+    state.PauseTiming();
+    FractionalSchedule schedule = naive.schedule;  // fresh copy
+    state.ResumeTiming();
+    RefineStats stats = refineProfile(inst, schedule);
+    benchmark::DoNotOptimize(stats);
+  }
+}
+BENCHMARK(BM_RefineProfileOnly)->Range(16, 256);
+
+void BM_FractionalLpSimplex(benchmark::State& state) {
+  const Instance inst = makeBenchInstance(static_cast<int>(state.range(0)), 5);
+  const DsctLp lpModel = buildFractionalLp(inst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lp::solveLp(lpModel.model));
+  }
+}
+BENCHMARK(BM_FractionalLpSimplex)->Range(8, 64);
+
+}  // namespace
+}  // namespace dsct
+
+BENCHMARK_MAIN();

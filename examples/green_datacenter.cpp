@@ -1,0 +1,66 @@
+// Green datacenter: pick GPUs from the catalog and sweep the energy budget
+// to build an energy/accuracy trade-off curve — the operator's view of the
+// paper's headline (large energy savings for small accuracy loss).
+//
+//   $ ./green_datacenter
+#include <iostream>
+
+#include "dsct/dsct.h"
+
+int main() {
+  using namespace dsct;
+
+  // A small heterogeneous pod from the embedded GPU catalog.
+  std::vector<Machine> machines =
+      machinesFromCatalog({"K80", "T4", "V100", "A100"});
+  std::cout << "Green datacenter — pod composition:\n";
+  for (const Machine& m : machines) {
+    std::cout << "  " << m.name << ": " << m.speed << " TFLOPS, "
+              << formatFixed(m.efficiency * 1000.0, 0) << " GFLOPS/W ("
+              << formatFixed(m.power(), 0) << " W)\n";
+  }
+
+  // A batch of 80 classification requests with mixed efficiencies.
+  Rng rng(2024);
+  const auto thetas = makeThetasUniform(80, 0.1, 2.0, rng);
+  ScenarioSpec spec;
+  spec.numTasks = 80;
+  spec.numMachines = static_cast<int>(machines.size());
+  spec.rho = 0.5;
+  spec.beta = 1.0;  // reference: unconstrained budget
+  const Instance reference = buildInstance(machines, thetas, spec, rng);
+  // The operator's baseline bill: what the uncompressed service consumes.
+  const BaselineResult uncompressed = solveEdfNoCompression(reference);
+  const double fullBudget = uncompressed.energy;
+  const double fullAccuracy = uncompressed.totalAccuracy /
+                              static_cast<double>(reference.numTasks());
+
+  std::cout << "\nreference (no compression): avg accuracy "
+            << formatFixed(fullAccuracy, 4) << ", energy bill "
+            << formatFixed(fullBudget, 0) << " J\n\n";
+
+  Table table({"budget %", "avg accuracy", "loss vs full", "energy used (J)",
+               "tasks at >50%"});
+  for (double fraction : {1.0, 0.7, 0.5, 0.3, 0.2, 0.1, 0.05}) {
+    Instance inst(std::vector<Task>(reference.tasks()),
+                  std::vector<Machine>(reference.machines()),
+                  fullBudget * fraction);
+    const ApproxResult res = solveApprox(inst);
+    const double avg =
+        res.totalAccuracy / static_cast<double>(inst.numTasks());
+    int good = 0;
+    for (int j = 0; j < inst.numTasks(); ++j) {
+      if (res.schedule.taskAccuracy(inst, j) > 0.5) ++good;
+    }
+    table.addRow({formatFixed(100.0 * fraction, 0), formatFixed(avg, 4),
+                  formatFixed(fullAccuracy - avg, 4),
+                  formatFixed(res.energy, 0), std::to_string(good)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nreading: compressible scheduling keeps accuracy within a "
+               "couple of points of the uncompressed service while cutting "
+               "the energy bill by more than half (paper: 70% saved at ~2% "
+               "loss).\n";
+  return 0;
+}

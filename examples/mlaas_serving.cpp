@@ -1,0 +1,54 @@
+// MLaaS serving: run the online inference-serving simulator and compare
+// scheduling policies under a per-epoch energy cap — the cloud-operator
+// scenario that motivates the paper.
+//
+//   $ ./mlaas_serving
+#include <iostream>
+
+#include "dsct/dsct.h"
+
+int main() {
+  using namespace dsct;
+
+  const std::vector<Machine> machines =
+      machinesFromCatalog({"T4", "P100", "V100"});
+
+  sim::ServingOptions options;
+  options.arrivalRatePerSecond = 50.0;
+  options.horizonSeconds = 8.0;
+  options.epochSeconds = 0.5;
+  options.relDeadlineLo = 0.6;
+  options.relDeadlineHi = 2.5;
+  options.energyBudgetPerEpoch = 60.0;  // Joules per 0.5 s epoch
+  options.seed = 7;
+
+  std::cout << "MLaaS serving simulation\n"
+            << "  cluster : T4 + P100 + V100\n"
+            << "  load    : " << options.arrivalRatePerSecond
+            << " req/s for " << options.horizonSeconds << " s, epoch "
+            << options.epochSeconds << " s\n"
+            << "  budget  : " << options.energyBudgetPerEpoch
+            << " J per epoch\n\n";
+
+  Table table({"policy", "requests", "served", "mean accuracy",
+               "deadline misses", "energy (J)", "mean latency (s)"});
+  for (const sim::Policy policy :
+       {sim::Policy::kApprox, sim::Policy::kEdfNoCompression,
+        sim::Policy::kEdfLevels}) {
+    const sim::ServingStats stats =
+        sim::runServing(machines, policy, options);
+    table.addRow({sim::toString(policy), std::to_string(stats.requests),
+                  std::to_string(stats.served),
+                  formatFixed(stats.meanAccuracy, 4),
+                  std::to_string(stats.deadlineMisses),
+                  formatFixed(stats.totalEnergy, 0),
+                  formatFixed(stats.meanLatency, 3)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nreading: under the same energy cap, compressible "
+               "scheduling serves every request at a useful accuracy, while "
+               "the rigid baselines drop requests (accuracy collapses to the"
+               " random-guess floor) or waste budget on full-size models.\n";
+  return 0;
+}

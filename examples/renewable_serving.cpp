@@ -1,0 +1,69 @@
+// Renewable-powered inference serving (the paper's future-work scenario):
+// a solar-supplied cluster serves a diurnal request stream; each epoch's
+// energy budget is whatever the panels deliver. Compares scheduling
+// policies across the day.
+//
+//   $ ./renewable_serving
+#include <iostream>
+
+#include "dsct/dsct.h"
+
+int main() {
+  using namespace dsct;
+
+  const std::vector<Machine> machines = machinesFromCatalog({"T4", "A100"});
+
+  // One simulated "day" compressed into 12 seconds: sunrise at 20%,
+  // sunset at 85%, 400 W peak panel output with 20% cloud flicker.
+  const double day = 12.0;
+  Rng rng(2030);
+  const sim::PowerTrace solar =
+      sim::PowerTrace::solarDay(400.0, day, 0.20, 0.85, 96, 0.2, rng);
+
+  // Social-network style load: quiet nights, busy middays.
+  const ArrivalProcess load = ArrivalProcess::diurnal(10.0, 90.0, day);
+
+  sim::ServingOptions options;
+  options.horizonSeconds = day;
+  options.epochSeconds = 0.5;
+  options.relDeadlineLo = 0.5;
+  options.relDeadlineHi = 2.0;
+  options.thetaLo = 0.2;
+  options.thetaHi = 3.0;
+  options.seed = 11;
+  {
+    Rng arrivalRng(options.seed);
+    options.arrivalTimes = load.sample(day, arrivalRng);
+  }
+
+  std::cout << "Renewable-powered MLaaS\n"
+            << "  cluster  : T4 + A100\n"
+            << "  supply   : solar, 400 W peak, "
+            << formatFixed(solar.energyBetween(0.0, day), 0)
+            << " J over the day\n"
+            << "  load     : diurnal, " << options.arrivalTimes.size()
+            << " requests over " << day << " s\n\n";
+
+  Table table({"policy", "served", "mean accuracy", "deadline misses",
+               "energy used (J)"});
+  for (const sim::Policy policy :
+       {sim::Policy::kApprox, sim::Policy::kEdfNoCompression,
+        sim::Policy::kEdfLevels}) {
+    const sim::ServingStats stats =
+        sim::runServing(machines, policy, options, solar);
+    table.addRow({sim::toString(policy),
+                  formatFixed(stats.served, 0) + "/" +
+                      formatFixed(stats.requests, 0),
+                  formatFixed(stats.meanAccuracy, 4),
+                  formatFixed(stats.deadlineMisses, 0),
+                  formatFixed(stats.totalEnergy, 0)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nreading: when the panels dim, compressible scheduling "
+               "degrades gracefully (smaller models, every request served); "
+               "rigid baselines drop whole requests. This implements the "
+               "paper's 'integration of renewable power sources' future "
+               "work via per-epoch budgets from a PowerTrace.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Solver tour: the LP/MIP substrate is a standalone library. This example
+// solves a classic diet LP, a knapsack MIP, and finally the paper's own
+// DSCT-EA MIP on a small instance, warm-started with the approximation
+// algorithm — the exact workflow used to reproduce Fig. 4.
+//
+//   $ ./solver_tour
+#include <iostream>
+
+#include "dsct/dsct.h"
+
+int main() {
+  using namespace dsct;
+
+  // ---- 1. A diet-style LP ----
+  // Minimise cost 3x + 2y subject to nutrition rows.
+  lp::Model diet;
+  const int x = diet.addVariable(0.0, lp::kInfinity, 3.0, lp::VarType::kContinuous, "oats");
+  const int y = diet.addVariable(0.0, lp::kInfinity, 2.0, lp::VarType::kContinuous, "rice");
+  diet.addConstraint({{x, 2.0}, {y, 1.0}}, lp::Sense::kGe, 8.0, "protein");
+  diet.addConstraint({{x, 1.0}, {y, 3.0}}, lp::Sense::kGe, 9.0, "fiber");
+  const lp::LpResult dietRes = lp::solveLp(diet);
+  std::cout << "diet LP: status " << lp::toString(dietRes.status)
+            << ", cost " << formatFixed(dietRes.objective, 3) << " (oats "
+            << formatFixed(dietRes.x[0], 2) << ", rice "
+            << formatFixed(dietRes.x[1], 2) << ")\n";
+
+  // ---- 2. A knapsack MIP ----
+  lp::Model knapsack;
+  knapsack.setMaximize(true);
+  const double values[] = {10, 13, 7, 4};
+  const double weights[] = {3, 4, 2, 1};
+  std::vector<std::pair<int, double>> row;
+  for (int i = 0; i < 4; ++i) {
+    row.emplace_back(knapsack.addBinary(values[i]), weights[i]);
+  }
+  knapsack.addConstraint(row, lp::Sense::kLe, 6.0, "capacity");
+  const lp::MipResult knapRes = lp::solveMip(knapsack);
+  std::cout << "knapsack MIP: status " << lp::toString(knapRes.status)
+            << ", value " << formatFixed(knapRes.objective, 1)
+            << " in " << knapRes.nodes << " nodes\n";
+
+  // ---- 3. The paper's MIP, warm-started by the approximation ----
+  ScenarioSpec spec;
+  spec.numTasks = 6;
+  spec.numMachines = 2;
+  spec.rho = 0.35;
+  spec.beta = 0.5;
+  const Instance inst = makeScenario(spec, 0.1, 1.0, 11);
+  const ApproxResult approx = solveApprox(inst);
+
+  lp::MipOptions options;
+  options.timeLimitSeconds = 10.0;
+  const MipSolveSummary exact = solveDsctMip(inst, options, &approx.schedule);
+
+  std::cout << "DSCT-EA MIP (n=6, m=2):\n"
+            << "  approx  SOL = " << formatFixed(approx.totalAccuracy, 5)
+            << '\n'
+            << "  exact   OPT = " << formatFixed(exact.totalAccuracy, 5)
+            << " (status " << lp::toString(exact.result.status) << ", "
+            << exact.result.nodes << " nodes, gap "
+            << formatFixed(exact.result.gap(), 6) << ")\n"
+            << "  UB (frac)   = " << formatFixed(approx.upperBound, 5) << '\n';
+  std::cout << "ordering SOL <= OPT <= UB holds: "
+            << (approx.totalAccuracy <= exact.totalAccuracy + 1e-6 &&
+                        exact.totalAccuracy <= approx.upperBound + 1e-6
+                    ? "yes"
+                    : "no")
+            << '\n';
+  return 0;
+}

@@ -1,0 +1,33 @@
+#include "accuracy/exponential.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dsct {
+
+ExponentialAccuracyModel::ExponentialAccuracyModel(double amin, double amax,
+                                                   double theta)
+    : amin_(amin), amax_(amax), theta_(theta) {
+  DSCT_CHECK_MSG(amax > amin, "amax must exceed amin");
+  DSCT_CHECK_MSG(amin >= 0.0 && amax <= 1.0, "accuracies must lie in [0,1]");
+  DSCT_CHECK_MSG(theta > 0.0, "task efficiency must be positive");
+  lambda_ = theta_ / (amax_ - amin_);
+}
+
+double ExponentialAccuracyModel::value(double f) const {
+  if (f <= 0.0) return amin_;
+  return amax_ - (amax_ - amin_) * std::exp(-lambda_ * f);
+}
+
+double ExponentialAccuracyModel::derivative(double f) const {
+  if (f < 0.0) f = 0.0;
+  return theta_ * std::exp(-lambda_ * f);
+}
+
+double ExponentialAccuracyModel::flopsForCoverage(double eps) const {
+  DSCT_CHECK_MSG(eps > 0.0 && eps < 1.0, "coverage eps must be in (0,1)");
+  return std::log(1.0 / eps) / lambda_;
+}
+
+}  // namespace dsct

@@ -1,0 +1,37 @@
+// Exponential accuracy model a(f) = amax − (amax − amin)·exp(−λ f).
+//
+// This is the analytic stand-in for the measured Once-For-All accuracy/FLOPs
+// curves (paper Fig. 2 and [5]): accuracy saturates exponentially in the
+// compute budget. The parameter θ = a'(0) is the paper's "task efficiency";
+// λ = θ / (amax − amin).
+#pragma once
+
+namespace dsct {
+
+class ExponentialAccuracyModel {
+ public:
+  /// theta is the initial slope a'(0) in accuracy per TFLOP.
+  ExponentialAccuracyModel(double amin, double amax, double theta);
+
+  double amin() const { return amin_; }
+  double amax() const { return amax_; }
+  double theta() const { return theta_; }
+  double lambda() const { return lambda_; }
+
+  double value(double f) const;
+
+  /// Derivative a'(f).
+  double derivative(double f) const;
+
+  /// FLOPs needed so the remaining gap to amax is eps·(amax − amin);
+  /// i.e. value(f) = amax − eps·(amax − amin).
+  double flopsForCoverage(double eps) const;
+
+ private:
+  double amin_;
+  double amax_;
+  double theta_;
+  double lambda_;
+};
+
+}  // namespace dsct

@@ -1,0 +1,38 @@
+#include "accuracy/levels.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dsct {
+
+std::vector<CompressionLevel> levelsForTargets(
+    const PiecewiseLinearAccuracy& accuracy,
+    const std::vector<double>& accuracyTargets) {
+  std::vector<CompressionLevel> levels;
+  levels.reserve(accuracyTargets.size());
+  for (double target : accuracyTargets) {
+    const double clamped = std::clamp(target, accuracy.amin(), accuracy.amax());
+    const double flops = accuracy.inverse(clamped);
+    levels.push_back({flops, accuracy.value(flops)});
+  }
+  std::sort(levels.begin(), levels.end(),
+            [](const CompressionLevel& a, const CompressionLevel& b) {
+              return a.flops < b.flops;
+            });
+  levels.erase(std::unique(levels.begin(), levels.end(),
+                           [](const CompressionLevel& a,
+                              const CompressionLevel& b) {
+                             return std::fabs(a.flops - b.flops) < 1e-12;
+                           }),
+               levels.end());
+  return levels;
+}
+
+std::vector<CompressionLevel> paperThreeLevels(
+    const PiecewiseLinearAccuracy& accuracy) {
+  return levelsForTargets(accuracy, {0.27, 0.55, 0.82});
+}
+
+}  // namespace dsct

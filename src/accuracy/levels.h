@@ -1,0 +1,30 @@
+// Discrete compression levels for the EDF-3CompressionLevels baseline.
+//
+// The paper's baseline picks among a small set of model sizes, e.g. the three
+// levels reaching 27%, 55% and 82% top-1 accuracy. Given a task's continuous
+// accuracy function, this module derives the (flops, accuracy) pairs for a
+// list of target accuracies.
+#pragma once
+
+#include <vector>
+
+#include "accuracy/piecewise.h"
+
+namespace dsct {
+
+struct CompressionLevel {
+  double flops = 0.0;     ///< TFLOP required to run at this level
+  double accuracy = 0.0;  ///< accuracy achieved
+};
+
+/// Levels sorted by increasing flops. Targets above the task's amax are
+/// clamped to amax; duplicates after clamping are removed.
+std::vector<CompressionLevel> levelsForTargets(
+    const PiecewiseLinearAccuracy& accuracy,
+    const std::vector<double>& accuracyTargets);
+
+/// The paper's default three levels (0.27, 0.55, 0.82).
+std::vector<CompressionLevel> paperThreeLevels(
+    const PiecewiseLinearAccuracy& accuracy);
+
+}  // namespace dsct

@@ -1,0 +1,127 @@
+#include "accuracy/piecewise.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dsct {
+
+namespace {
+constexpr double kSlopeTol = 1e-9;
+}
+
+PiecewiseLinearAccuracy::PiecewiseLinearAccuracy(std::vector<double> flops,
+                                                 std::vector<double> values)
+    : flops_(std::move(flops)), values_(std::move(values)) {
+  DSCT_CHECK_MSG(flops_.size() >= 2, "need at least one segment");
+  DSCT_CHECK_MSG(flops_.size() == values_.size(), "points arity mismatch");
+  DSCT_CHECK_MSG(flops_.front() == 0.0, "first breakpoint must be 0");
+  slopes_.reserve(flops_.size() - 1);
+  for (std::size_t k = 0; k + 1 < flops_.size(); ++k) {
+    const double df = flops_[k + 1] - flops_[k];
+    DSCT_CHECK_MSG(df > 0.0, "breakpoints must be strictly increasing");
+    const double slope = (values_[k + 1] - values_[k]) / df;
+    DSCT_CHECK_MSG(slope >= -kSlopeTol, "accuracy must be non-decreasing");
+    slopes_.push_back(std::max(0.0, slope));
+  }
+  for (std::size_t k = 0; k + 1 < slopes_.size(); ++k) {
+    DSCT_CHECK_MSG(slopes_[k] >= slopes_[k + 1] - kSlopeTol,
+                   "slopes must be non-increasing (concavity), got "
+                       << slopes_[k] << " then " << slopes_[k + 1]);
+  }
+  for (double a : values_) {
+    DSCT_CHECK_MSG(a >= -kSlopeTol && a <= 1.0 + kSlopeTol,
+                   "accuracy out of [0,1]: " << a);
+  }
+}
+
+PiecewiseLinearAccuracy PiecewiseLinearAccuracy::fromPoints(
+    std::vector<double> flops, std::vector<double> values) {
+  return PiecewiseLinearAccuracy(std::move(flops), std::move(values));
+}
+
+PiecewiseLinearAccuracy PiecewiseLinearAccuracy::linear(double a0, double a1,
+                                                        double fmax) {
+  return fromPoints({0.0, fmax}, {a0, a1});
+}
+
+double PiecewiseLinearAccuracy::value(double f) const {
+  if (f <= 0.0) return values_.front();
+  if (f >= fmax()) return values_.back();
+  const int k = segmentOf(f);
+  const auto uk = static_cast<std::size_t>(k);
+  return values_[uk] + slopes_[uk] * (f - flops_[uk]);
+}
+
+int PiecewiseLinearAccuracy::segmentOf(double f) const {
+  if (f >= fmax()) return numSegments() - 1;
+  if (f <= 0.0) return 0;
+  // First breakpoint strictly greater than f; segment is the one before it.
+  const auto it = std::upper_bound(flops_.begin(), flops_.end(), f);
+  return static_cast<int>(it - flops_.begin()) - 1;
+}
+
+double PiecewiseLinearAccuracy::marginalGain(double f) const {
+  if (f >= fmax()) return 0.0;
+  if (f <= 0.0) return slopes_.front();
+  const auto it = std::lower_bound(flops_.begin(), flops_.end(), f);
+  if (it != flops_.end() && *it == f) {
+    // Exactly at a breakpoint: slope of the segment to the right.
+    const auto k = static_cast<std::size_t>(it - flops_.begin());
+    return slopes_[k];
+  }
+  return slopes_[static_cast<std::size_t>(segmentOf(f))];
+}
+
+double PiecewiseLinearAccuracy::marginalLoss(double f) const {
+  if (f <= 0.0) return slopes_.front();
+  if (f >= fmax()) return slopes_.back();
+  const auto it = std::lower_bound(flops_.begin(), flops_.end(), f);
+  if (it != flops_.end() && *it == f) {
+    // Exactly at a breakpoint: slope of the segment to the left.
+    const auto k = static_cast<std::size_t>(it - flops_.begin());
+    return slopes_[k - 1];
+  }
+  return slopes_[static_cast<std::size_t>(segmentOf(f))];
+}
+
+double PiecewiseLinearAccuracy::inverse(double a) const {
+  DSCT_CHECK_MSG(a >= amin() - kSlopeTol && a <= amax() + kSlopeTol,
+                 "inverse target " << a << " outside [" << amin() << ", "
+                                   << amax() << "]");
+  if (a <= amin()) return 0.0;
+  if (a >= amax()) return fmax();
+  // Find the segment whose value range contains a.
+  const auto it = std::lower_bound(values_.begin(), values_.end(), a);
+  const auto k = static_cast<std::size_t>(it - values_.begin());
+  // values_[k-1] < a <= values_[k]; slope on segment k-1 is positive here.
+  const double slope = slopes_[k - 1];
+  DSCT_CHECK(slope > 0.0);
+  return flops_[k - 1] + (a - values_[k - 1]) / slope;
+}
+
+PiecewiseLinearAccuracy PiecewiseLinearAccuracy::suffix(double fDone) const {
+  DSCT_CHECK_MSG(fDone < fmax() - 1e-15,
+                 "suffix of a fully processed function (fDone=" << fDone
+                     << ", fmax=" << fmax() << ")");
+  fDone = std::max(0.0, fDone);
+  std::vector<double> flops{0.0};
+  std::vector<double> values{value(fDone)};
+  const int first = segmentOf(fDone);
+  for (int k = first; k < numSegments(); ++k) {
+    const double fHi = flops_[static_cast<std::size_t>(k) + 1];
+    if (fHi - fDone <= 1e-15) continue;  // fDone sits on this breakpoint
+    flops.push_back(fHi - fDone);
+    values.push_back(values_[static_cast<std::size_t>(k) + 1]);
+  }
+  return PiecewiseLinearAccuracy(std::move(flops), std::move(values));
+}
+
+AccuracySegment PiecewiseLinearAccuracy::segment(int k) const {
+  DSCT_CHECK(k >= 0 && k < numSegments());
+  const auto uk = static_cast<std::size_t>(k);
+  return AccuracySegment{slopes_[uk], flops_[uk], flops_[uk + 1]};
+}
+
+}  // namespace dsct

@@ -1,0 +1,92 @@
+// Concave piecewise-linear accuracy functions a(f) over FLOPs f ∈ [0, fmax].
+//
+// This is the accuracy model of the paper (Section 3.1): slimmable-network
+// accuracy as a function of the number of floating-point operations spent on
+// the task, approximated by K linear segments with non-increasing slopes.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dsct {
+
+/// A single linear segment of an accuracy function, in the representation
+/// used by the scheduling algorithms: the k-th segment spans
+/// [breakpoint(k), breakpoint(k+1)] in FLOPs with constant slope.
+struct AccuracySegment {
+  double slope = 0.0;   ///< accuracy gained per TFLOP on this segment
+  double fLo = 0.0;     ///< start breakpoint (TFLOP)
+  double fHi = 0.0;     ///< end breakpoint (TFLOP)
+
+  double flops() const { return fHi - fLo; }
+};
+
+/// Immutable concave piecewise-linear function.
+///
+/// Invariants (validated at construction):
+///  * breakpoints strictly increasing, starting at 0;
+///  * values non-decreasing (slopes >= 0);
+///  * slopes non-increasing (concavity);
+///  * all values within [0, 1].
+class PiecewiseLinearAccuracy {
+ public:
+  /// Build from breakpoints f[0..K] (f[0] == 0) and values a[0..K].
+  static PiecewiseLinearAccuracy fromPoints(std::vector<double> flops,
+                                            std::vector<double> values);
+
+  /// A single-segment linear function from (0, a0) to (fmax, a1).
+  static PiecewiseLinearAccuracy linear(double a0, double a1, double fmax);
+
+  int numSegments() const { return static_cast<int>(flops_.size()) - 1; }
+  double fmax() const { return flops_.back(); }
+  double amin() const { return values_.front(); }
+  double amax() const { return values_.back(); }
+
+  double breakpoint(int k) const { return flops_[static_cast<std::size_t>(k)]; }
+  double valueAt(int k) const { return values_[static_cast<std::size_t>(k)]; }
+  double slope(int k) const { return slopes_[static_cast<std::size_t>(k)]; }
+
+  /// a(f); clamps f into [0, fmax].
+  double value(double f) const;
+
+  /// Index of the segment containing f; right-open convention, with
+  /// f >= fmax mapping to the last segment.
+  int segmentOf(double f) const;
+
+  /// Right derivative a'+(f): slope of the segment to the right of f
+  /// (0 for f >= fmax). This is the paper's "marginal gain".
+  double marginalGain(double f) const;
+
+  /// Left derivative a'-(f): slope of the segment to the left of f
+  /// (slope(0) for f <= 0). This is the paper's "marginal loss".
+  double marginalLoss(double f) const;
+
+  /// Minimum FLOPs achieving accuracy >= a, for a in [amin, amax].
+  double inverse(double a) const;
+
+  /// Segment view for the scheduling algorithms.
+  AccuracySegment segment(int k) const;
+
+  /// First-segment slope — the paper's "task efficiency" θ.
+  double theta() const { return slopes_.front(); }
+
+  /// Residual function after `fDone` FLOPs have been executed:
+  /// suffix(fDone)(f) == value(fDone + f), with fmax reduced accordingly.
+  /// Used by the serving driver to carry partially processed requests into
+  /// the next scheduling epoch. Requires fDone < fmax (a fully processed
+  /// task has no residual function).
+  PiecewiseLinearAccuracy suffix(double fDone) const;
+
+  bool operator==(const PiecewiseLinearAccuracy&) const = default;
+
+ private:
+  PiecewiseLinearAccuracy(std::vector<double> flops,
+                          std::vector<double> values);
+
+  std::vector<double> flops_;   ///< breakpoints, size K+1, flops_[0] == 0
+  std::vector<double> values_;  ///< accuracy at breakpoints, size K+1
+  std::vector<double> slopes_;  ///< per-segment slopes, size K
+};
+
+}  // namespace dsct

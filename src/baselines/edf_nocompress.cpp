@@ -1,0 +1,51 @@
+#include "baselines/edf_nocompress.h"
+
+#include <vector>
+
+namespace dsct {
+
+BaselineResult solveEdfNoCompression(const Instance& inst) {
+  const int n = inst.numTasks();
+  const int m = inst.numMachines();
+  std::vector<double> load(static_cast<std::size_t>(m), 0.0);
+  double energyUsed = 0.0;
+
+  std::vector<int> machineOf(static_cast<std::size_t>(n), -1);
+  std::vector<double> duration(static_cast<std::size_t>(n), 0.0);
+
+  for (int j = 0; j < n; ++j) {
+    const Task& task = inst.task(j);
+    int best = -1;
+    double bestLoad = 0.0;
+    for (int r = 0; r < m; ++r) {
+      const Machine& machine = inst.machine(r);
+      const double time = task.fmax() / machine.speed;
+      const bool meetsDeadline =
+          load[static_cast<std::size_t>(r)] + time <= task.deadline + 1e-12;
+      const bool meetsBudget =
+          energyUsed + time * machine.power() <= inst.energyBudget() + 1e-9;
+      if (!meetsDeadline || !meetsBudget) continue;
+      if (best < 0 || load[static_cast<std::size_t>(r)] < bestLoad) {
+        best = r;
+        bestLoad = load[static_cast<std::size_t>(r)];
+      }
+    }
+    if (best < 0) continue;  // dropped: keeps floor accuracy a_j(0)
+    const double time = task.fmax() / inst.machine(best).speed;
+    machineOf[static_cast<std::size_t>(j)] = best;
+    duration[static_cast<std::size_t>(j)] = time;
+    load[static_cast<std::size_t>(best)] += time;
+    energyUsed += time * inst.machine(best).power();
+  }
+
+  BaselineResult result{IntegralSchedule::build(inst, std::move(machineOf),
+                                                std::move(duration)),
+                        0, 0, 0.0, 0.0};
+  result.scheduledTasks = result.schedule.numScheduled();
+  result.droppedTasks = n - result.scheduledTasks;
+  result.totalAccuracy = result.schedule.totalAccuracy(inst);
+  result.energy = result.schedule.energy(inst);
+  return result;
+}
+
+}  // namespace dsct

@@ -1,0 +1,24 @@
+// EDF-NoCompression baseline (paper Section 6).
+//
+// Tasks are considered in Earliest-Deadline-First order and placed, fully
+// uncompressed (f_j^max FLOPs), on the least-loaded machine where they fit
+// both their deadline and the remaining energy budget. Tasks that fit
+// nowhere are dropped and retain their floor accuracy a_j(0).
+#pragma once
+
+#include "sched/schedule.h"
+#include "sched/types.h"
+
+namespace dsct {
+
+struct BaselineResult {
+  IntegralSchedule schedule;
+  int scheduledTasks = 0;
+  int droppedTasks = 0;
+  double totalAccuracy = 0.0;
+  double energy = 0.0;
+};
+
+BaselineResult solveEdfNoCompression(const Instance& inst);
+
+}  // namespace dsct

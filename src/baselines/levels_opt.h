@@ -1,0 +1,42 @@
+// EDF-LevelsOpt: discrete compression levels with *optimal* energy
+// allocation (a stronger variant of the Lee & Song-style baseline).
+//
+// Routing is greedy (each task goes, in EDF order, to the machine where its
+// highest deadline-feasible level is largest; ties to the least-loaded
+// machine), but the level chosen per task is then decided globally by an
+// exact multiple-choice knapsack over the energy budget (DP on a
+// discretised budget; costs are rounded *up*, so the budget is never
+// exceeded and the result is optimal for the chosen routing up to the
+// discretisation resolution).
+#pragma once
+
+#include <vector>
+
+#include "accuracy/levels.h"
+#include "baselines/edf_nocompress.h"
+#include "sched/types.h"
+
+namespace dsct {
+
+struct EdfLevelsOptOptions {
+  std::vector<double> accuracyTargets{0.27, 0.55, 0.82};
+  /// Budget discretisation buckets for the knapsack DP.
+  int budgetBuckets = 2048;
+};
+
+/// The per-task level menu after routing: the machine the task would run
+/// on and the deadline-feasible levels there (ascending flops). An empty
+/// level list means the task is dropped by routing.
+struct LevelMenu {
+  int machine = -1;
+  std::vector<CompressionLevel> levels;
+};
+
+/// Routing step alone (exposed for testing).
+std::vector<LevelMenu> buildLevelMenus(
+    const Instance& inst, const std::vector<double>& accuracyTargets);
+
+BaselineResult solveEdfLevelsOpt(const Instance& inst,
+                                 const EdfLevelsOptOptions& options = {});
+
+}  // namespace dsct

@@ -1,0 +1,113 @@
+#include "experiments/report.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace dsct {
+
+std::string markdownTable(const std::vector<std::string>& header,
+                          const std::vector<std::vector<double>>& rows,
+                          int precision) {
+  DSCT_CHECK(!header.empty());
+  std::ostringstream os;
+  os << '|';
+  for (const std::string& h : header) os << ' ' << h << " |";
+  os << "\n|";
+  for (std::size_t i = 0; i < header.size(); ++i) os << "---|";
+  os << '\n';
+  os << std::fixed << std::setprecision(precision);
+  for (const auto& row : rows) {
+    DSCT_CHECK_MSG(row.size() == header.size(), "report row arity mismatch");
+    os << '|';
+    for (double v : row) os << ' ' << v << " |";
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string generateReport(const ReportConfig& config,
+                           ExperimentRunner& runner) {
+  std::ostringstream os;
+  os << "# dsct experiment report\n\n"
+     << "mode: " << (config.fullScale ? "full (paper scale)" : "quick")
+     << "\n\n";
+
+  if (config.includeFig3) {
+    Fig3Config c = config.fullScale ? Fig3Config{} : Fig3Config::quick();
+    const auto rows = runFig3(c, runner);
+    os << "## Fig. 3 — optimality gap vs task heterogeneity\n\n";
+    std::vector<std::vector<double>> data;
+    for (const Fig3Row& row : rows) {
+      data.push_back({row.mu, row.gap.mean(), row.gap.min(), row.gap.max(),
+                      row.guarantee.mean()});
+    }
+    os << markdownTable({"mu", "gap mean", "gap min", "gap max", "G"}, data)
+       << '\n';
+  }
+
+  if (config.includeFig4) {
+    Fig4Config c = config.fullScale ? Fig4Config{} : Fig4Config::quick();
+    const auto rows = runFig4a(c, runner);
+    os << "## Fig. 4a — runtime vs number of tasks\n\n";
+    std::vector<std::vector<double>> data;
+    for (const Fig4Row& row : rows) {
+      data.push_back({static_cast<double>(row.size),
+                      row.approxSeconds.mean(), row.mipSeconds.mean(),
+                      static_cast<double>(row.mipTimeouts)});
+    }
+    os << markdownTable({"n", "approx s", "mip s", "timeouts"}, data) << '\n';
+  }
+
+  if (config.includeTable1) {
+    Table1Config c = config.fullScale ? Table1Config{} : Table1Config::quick();
+    const auto rows = runTable1(c, runner);
+    os << "## Table 1 — FR-OPT vs LP simplex\n\n";
+    std::vector<std::vector<double>> data;
+    for (const Table1Row& row : rows) {
+      data.push_back({static_cast<double>(row.numTasks),
+                      row.frOptSeconds.mean(), row.lpSeconds.mean()});
+    }
+    os << markdownTable({"n", "fr-opt s", "lp s"}, data) << '\n';
+  }
+
+  if (config.includeFig5) {
+    Fig5Config c = config.fullScale ? Fig5Config{} : Fig5Config::quick();
+    const auto rows = runFig5(c, runner);
+    os << "## Fig. 5 — accuracy vs energy budget\n\n";
+    std::vector<std::vector<double>> data;
+    for (const Fig5Row& row : rows) {
+      data.push_back({row.beta, row.approx.mean(), row.ub.mean(),
+                      row.edfNoCompression.mean(), row.edfLevels.mean()});
+    }
+    os << markdownTable({"beta", "approx", "ub", "edf", "edf3"}, data);
+    const EnergyGain gain = energyGainHeadline(rows);
+    os << "\nenergy-gain headline: " << std::fixed << std::setprecision(1)
+       << 100.0 * gain.savedFraction << "% saved at "
+       << 100.0 * gain.accuracyLoss << "% accuracy loss (beta* = "
+       << std::setprecision(2) << gain.betaStar << ")\n\n";
+  }
+
+  if (config.includeFig6) {
+    for (const bool scenarioB : {false, true}) {
+      Fig6Config c = config.fullScale ? Fig6Config{} : Fig6Config::quick();
+      c.earliestHighEfficient = scenarioB;
+      const auto rows = runFig6(c, runner);
+      os << "## Fig. 6" << (scenarioB ? "b — earliest high efficient"
+                                      : "a — uniform tasks")
+         << "\n\n";
+      std::vector<std::vector<double>> data;
+      for (const Fig6Row& row : rows) {
+        data.push_back({row.beta, row.profile1.mean(), row.profile2.mean(),
+                        row.naiveProfile1.mean(), row.naiveProfile2.mean()});
+      }
+      os << markdownTable({"beta", "p1", "p2", "p1 naive", "p2 naive"}, data)
+         << '\n';
+    }
+  }
+
+  return os.str();
+}
+
+}  // namespace dsct

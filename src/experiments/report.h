@@ -1,0 +1,32 @@
+// Markdown report generation: runs the (quick or full) experiment suite and
+// renders one self-contained document with every figure's data — the
+// machine-written companion to EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+
+#include "experiments/runner.h"
+#include "experiments/scenarios.h"
+
+namespace dsct {
+
+struct ReportConfig {
+  bool fullScale = false;  ///< paper-scale parameters instead of quick ones
+  /// Individual toggles (timing sections dominate runtime at full scale).
+  bool includeFig3 = true;
+  bool includeFig4 = true;
+  bool includeTable1 = true;
+  bool includeFig5 = true;
+  bool includeFig6 = true;
+};
+
+/// Render a markdown table from a header and rows of numbers.
+std::string markdownTable(const std::vector<std::string>& header,
+                          const std::vector<std::vector<double>>& rows,
+                          int precision = 3);
+
+/// Run the configured experiments and produce the full markdown report.
+std::string generateReport(const ReportConfig& config,
+                           ExperimentRunner& runner);
+
+}  // namespace dsct

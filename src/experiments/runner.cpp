@@ -1,0 +1,37 @@
+#include "experiments/runner.h"
+
+#include "util/check.h"
+
+namespace dsct {
+
+RunningStats ExperimentRunner::replicate(
+    int reps, const std::function<double(int)>& fn) {
+  DSCT_CHECK(reps >= 0);
+  const std::vector<double> values = pool_.parallelMap(
+      static_cast<std::size_t>(reps),
+      [&fn](std::size_t i) { return fn(static_cast<int>(i)); });
+  RunningStats stats;
+  for (double v : values) stats.add(v);
+  return stats;
+}
+
+std::vector<RunningStats> ExperimentRunner::replicateMulti(
+    int reps, int metrics,
+    const std::function<std::vector<double>(int)>& fn) {
+  DSCT_CHECK(reps >= 0);
+  DSCT_CHECK(metrics >= 1);
+  const auto rows = pool_.parallelMap(
+      static_cast<std::size_t>(reps),
+      [&fn](std::size_t i) { return fn(static_cast<int>(i)); });
+  std::vector<RunningStats> stats(static_cast<std::size_t>(metrics));
+  for (const auto& row : rows) {
+    DSCT_CHECK_MSG(static_cast<int>(row.size()) == metrics,
+                   "replication returned wrong metric count");
+    for (int k = 0; k < metrics; ++k) {
+      stats[static_cast<std::size_t>(k)].add(row[static_cast<std::size_t>(k)]);
+    }
+  }
+  return stats;
+}
+
+}  // namespace dsct

@@ -1,0 +1,37 @@
+// Parallel replication runner for the evaluation harness.
+//
+// Replications are independent (seeded via deriveSeed(master, rep)), so they
+// map cleanly onto the thread pool; results are reduced into RunningStats.
+// Determinism: the set of per-replication results is a pure function of the
+// master seed, so aggregate statistics do not depend on thread interleaving.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/stats.h"
+#include "util/thread_pool.h"
+
+namespace dsct {
+
+class ExperimentRunner {
+ public:
+  /// threads = 0 uses hardware concurrency.
+  explicit ExperimentRunner(std::size_t threads = 0) : pool_(threads) {}
+
+  ThreadPool& pool() { return pool_; }
+
+  /// Run `reps` replications of fn(replicationIndex) and aggregate.
+  RunningStats replicate(int reps, const std::function<double(int)>& fn);
+
+  /// Multi-metric version: fn returns one value per metric; stats are
+  /// aggregated per metric.
+  std::vector<RunningStats> replicateMulti(
+      int reps, int metrics,
+      const std::function<std::vector<double>(int)>& fn);
+
+ private:
+  ThreadPool pool_;
+};
+
+}  // namespace dsct

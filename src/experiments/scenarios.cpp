@@ -1,0 +1,361 @@
+#include "experiments/scenarios.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "baselines/edf_levels.h"
+#include "baselines/edf_nocompress.h"
+#include "mipmodel/dsct_lp.h"
+#include "mipmodel/dsct_mip.h"
+#include "sched/approx.h"
+#include "sched/fr_opt.h"
+#include "solver/mip.h"
+#include "solver/simplex.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/timer.h"
+#include "workload/generator.h"
+
+namespace dsct {
+
+namespace {
+
+/// Rough memory estimate (bytes) of the dense tableau the simplex would
+/// allocate for `model`; used to skip hopeless solver runs honestly (they
+/// are reported as time-limit hits, which is how they would end anyway).
+double tableauBytes(const lp::Model& model) {
+  // rows ≈ constraints + ranged variables; cols ≈ structural + slacks.
+  double rows = model.numConstraints();
+  for (const auto& v : model.variables()) {
+    if (std::isfinite(v.upper) && v.upper > v.lower) rows += 1.0;
+  }
+  const double cols = static_cast<double>(model.numVariables()) + rows;
+  return rows * (cols + 1.0) * sizeof(double);
+}
+
+constexpr double kMaxTableauBytes = 500e6;
+
+}  // namespace
+
+// ------------------------------------------------------------------ Fig. 3
+
+Fig3Config Fig3Config::quick() {
+  Fig3Config c;
+  c.numTasks = 30;
+  c.numMachines = 3;
+  c.replications = 10;
+  return c;
+}
+
+std::vector<Fig3Row> runFig3(const Fig3Config& config,
+                             ExperimentRunner& runner) {
+  std::vector<Fig3Row> rows;
+  rows.reserve(config.muValues.size());
+  for (std::size_t p = 0; p < config.muValues.size(); ++p) {
+    const double mu = config.muValues[p];
+    const auto stats = runner.replicateMulti(
+        config.replications, 2, [&, mu, p](int rep) {
+          ScenarioSpec spec;
+          spec.numTasks = config.numTasks;
+          spec.numMachines = config.numMachines;
+          spec.rho = config.rho;
+          spec.beta = config.beta;
+          const std::uint64_t seed = deriveSeed(
+              config.seed, static_cast<std::uint64_t>(p) * 1000003u +
+                               static_cast<std::uint64_t>(rep));
+          const Instance inst = makeScenario(spec, config.thetaMin,
+                                             config.thetaMin * mu, seed);
+          const ApproxResult res = solveApprox(inst);
+          return std::vector<double>{res.optimalityGap(),
+                                     res.guarantee.g};
+        });
+    Fig3Row row;
+    row.mu = mu;
+    row.gap = stats[0];
+    row.guarantee = stats[1];
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+// ------------------------------------------------------------------ Fig. 4
+
+Fig4Config Fig4Config::quick() {
+  Fig4Config c;
+  c.taskCounts = {5, 10, 15, 20};
+  c.machineCounts = {2, 3, 4};
+  c.fixedTasks = 10;
+  c.fixedMachines = 3;
+  c.mipTimeLimit = 2.0;
+  c.replications = 2;
+  return c;
+}
+
+namespace {
+
+Fig4Row runFig4Point(const Fig4Config& config, int n, int m, int pointIndex) {
+  Fig4Row row;
+  row.size = 0;  // caller sets
+  for (int rep = 0; rep < config.replications; ++rep) {
+    ScenarioSpec spec;
+    spec.numTasks = n;
+    spec.numMachines = m;
+    spec.rho = config.rho;
+    spec.beta = config.beta;
+    const std::uint64_t seed = deriveSeed(
+        config.seed, static_cast<std::uint64_t>(pointIndex) * 1000003u +
+                         static_cast<std::uint64_t>(rep));
+    const Instance inst =
+        makeScenario(spec, config.thetaMin, config.thetaMax, seed);
+
+    Stopwatch watch;
+    const ApproxResult approx = solveApprox(inst);
+    row.approxSeconds.add(watch.elapsedSeconds());
+    row.approxAccuracy.add(approx.totalAccuracy /
+                           static_cast<double>(std::max(1, n)));
+
+    DsctMip mip = buildMip(inst);
+    if (tableauBytes(mip.model) > kMaxTableauBytes) {
+      // The dense tableau would not fit; the solver run is hopeless within
+      // any reasonable limit — record it as a time-limit hit.
+      row.mipSeconds.add(config.mipTimeLimit);
+      ++row.mipTimeouts;
+      continue;
+    }
+    lp::MipOptions options;
+    options.timeLimitSeconds = config.mipTimeLimit;
+    watch.reset();
+    const lp::MipResult res = lp::solveMip(mip.model, options);
+    row.mipSeconds.add(watch.elapsedSeconds());
+    if (res.status != lp::SolveStatus::kOptimal) ++row.mipTimeouts;
+    if (res.hasSolution) {
+      row.mipAccuracy.add(res.objective / static_cast<double>(std::max(1, n)));
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+std::vector<Fig4Row> runFig4a(const Fig4Config& config, ExperimentRunner&) {
+  // Timing experiments run serially: parallel replication would contend for
+  // cores and distort wall-clock measurements.
+  std::vector<Fig4Row> rows;
+  for (std::size_t p = 0; p < config.taskCounts.size(); ++p) {
+    Fig4Row row = runFig4Point(config, config.taskCounts[p],
+                               config.fixedMachines, static_cast<int>(p));
+    row.size = config.taskCounts[p];
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<Fig4Row> runFig4b(const Fig4Config& config, ExperimentRunner&) {
+  std::vector<Fig4Row> rows;
+  for (std::size_t p = 0; p < config.machineCounts.size(); ++p) {
+    Fig4Row row = runFig4Point(config, config.fixedTasks,
+                               config.machineCounts[p],
+                               1000 + static_cast<int>(p));
+    row.size = config.machineCounts[p];
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+// ----------------------------------------------------------------- Table 1
+
+Table1Config Table1Config::quick() {
+  Table1Config c;
+  c.taskCounts = {10, 20, 40};
+  c.replications = 2;
+  c.lpTimeLimit = 30.0;
+  return c;
+}
+
+std::vector<Table1Row> runTable1(const Table1Config& config,
+                                 ExperimentRunner&) {
+  std::vector<Table1Row> rows;
+  for (std::size_t p = 0; p < config.taskCounts.size(); ++p) {
+    const int n = config.taskCounts[p];
+    Table1Row row;
+    row.numTasks = n;
+    for (int rep = 0; rep < config.replications; ++rep) {
+      ScenarioSpec spec;
+      spec.numTasks = n;
+      spec.numMachines = config.numMachines;
+      spec.rho = config.rho;
+      spec.beta = config.beta;
+      const std::uint64_t seed = deriveSeed(
+          config.seed, static_cast<std::uint64_t>(p) * 1000003u +
+                           static_cast<std::uint64_t>(rep));
+      const Instance inst =
+          makeScenario(spec, config.thetaMin, config.thetaMax, seed);
+
+      Stopwatch watch;
+      const FrOptResult fr = solveFrOpt(inst);
+      row.frOptSeconds.add(watch.elapsedSeconds());
+
+      DsctLp lpModel = buildFractionalLp(inst);
+      if (tableauBytes(lpModel.model) > kMaxTableauBytes) {
+        row.lpSeconds.add(config.lpTimeLimit);
+        ++row.lpTimeouts;
+        continue;
+      }
+      lp::LpOptions options;
+      options.timeLimitSeconds = config.lpTimeLimit;
+      watch.reset();
+      const lp::LpResult lpRes = lp::solveLp(lpModel.model, options);
+      row.lpSeconds.add(watch.elapsedSeconds());
+      if (lpRes.status == lp::SolveStatus::kOptimal) {
+        row.objectiveDiff.add(std::fabs(lpRes.objective - fr.totalAccuracy));
+      } else {
+        ++row.lpTimeouts;
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+// ------------------------------------------------------------------ Fig. 5
+
+Fig5Config Fig5Config::quick() {
+  Fig5Config c;
+  c.numTasks = 30;
+  c.betaValues = {0.1, 0.3, 0.5, 0.7, 1.0};
+  c.replications = 5;
+  return c;
+}
+
+std::vector<Fig5Row> runFig5(const Fig5Config& config,
+                             ExperimentRunner& runner) {
+  std::vector<Fig5Row> rows;
+  rows.reserve(config.betaValues.size());
+  for (std::size_t p = 0; p < config.betaValues.size(); ++p) {
+    const double beta = config.betaValues[p];
+    const auto stats = runner.replicateMulti(
+        config.replications, 6, [&, beta](int rep) {
+          ScenarioSpec spec;
+          spec.numTasks = config.numTasks;
+          spec.numMachines = config.numMachines;
+          spec.rho = config.rho;
+          spec.beta = beta;
+          // Fig. 5's β sweep needs a budget that binds across (0, 1); the
+          // workload-energy normalisation grants exactly the deadline-only
+          // optimum's energy at β = 1 (see BudgetMode and DESIGN.md).
+          spec.budgetMode = BudgetMode::kWorkloadEnergy;
+          // Seed depends only on the replication: every β point sees the
+          // same instances (paired sweep, lower variance across the curve).
+          const std::uint64_t seed =
+              deriveSeed(config.seed, static_cast<std::uint64_t>(rep));
+          const Instance inst =
+              makeScenario(spec, config.theta, config.theta, seed);
+          const double n = static_cast<double>(inst.numTasks());
+          const ApproxResult approx = solveApprox(inst);
+          const BaselineResult edfNo = solveEdfNoCompression(inst);
+          const BaselineResult edf3 = solveEdfLevels(inst);
+          return std::vector<double>{
+              approx.totalAccuracy / n, approx.upperBound / n,
+              edfNo.totalAccuracy / n, edf3.totalAccuracy / n,
+              approx.energy,           edfNo.energy};
+        });
+    Fig5Row row;
+    row.beta = beta;
+    row.approx = stats[0];
+    row.ub = stats[1];
+    row.edfNoCompression = stats[2];
+    row.edfLevels = stats[3];
+    row.approxEnergy = stats[4];
+    row.edfNoEnergy = stats[5];
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+EnergyGain energyGainHeadline(const std::vector<Fig5Row>& rows,
+                              double maxAccuracyLoss) {
+  EnergyGain gain;
+  if (rows.empty()) return gain;
+  // Reference: the *uncompressed* service at the largest β — its accuracy
+  // is the "no compression" quality bar and its consumption is the energy
+  // bill the operator pays today.
+  const Fig5Row* reference = &rows.front();
+  for (const Fig5Row& row : rows) {
+    if (row.beta > reference->beta) reference = &row;
+  }
+  const double fullAccuracy = reference->edfNoCompression.mean();
+  const double fullBill = reference->edfNoEnergy.mean();
+  if (fullBill <= 0.0) return gain;
+  for (const Fig5Row& row : rows) {
+    const double loss = fullAccuracy - row.approx.mean();
+    const double saved = 1.0 - row.approxEnergy.mean() / fullBill;
+    if (loss <= maxAccuracyLoss && saved > gain.savedFraction) {
+      gain.savedFraction = saved;
+      gain.accuracyLoss = std::max(0.0, loss);
+      gain.betaStar = row.beta;
+    }
+  }
+  return gain;
+}
+
+// ------------------------------------------------------------------ Fig. 6
+
+Fig6Config Fig6Config::quick() {
+  Fig6Config c;
+  c.numTasks = 40;
+  c.betaValues = {0.1, 0.2, 0.4, 0.6, 0.8, 1.0};
+  c.replications = 3;
+  return c;
+}
+
+std::vector<Fig6Row> runFig6(const Fig6Config& config,
+                             ExperimentRunner& runner) {
+  std::vector<Fig6Row> rows;
+  rows.reserve(config.betaValues.size());
+  for (std::size_t p = 0; p < config.betaValues.size(); ++p) {
+    const double beta = config.betaValues[p];
+    const auto stats = runner.replicateMulti(
+        config.replications, 7, [&, beta, p](int rep) {
+          const std::uint64_t seed = deriveSeed(
+              config.seed, static_cast<std::uint64_t>(p) * 1000003u +
+                               static_cast<std::uint64_t>(rep));
+          Rng rng(seed);
+          std::vector<Machine> machines{
+              Machine{config.speed1, config.eff1, "machine-1"},
+              Machine{config.speed2, config.eff2, "machine-2"}};
+          std::vector<double> thetas =
+              config.earliestHighEfficient
+                  ? makeThetasEarliestHighEfficient(config.numTasks, 0.3, 4.0,
+                                                    4.9, 0.1, 1.0, rng)
+                  : makeThetasUniform(config.numTasks, 0.1, 4.9, rng);
+          ScenarioSpec spec;
+          spec.numTasks = config.numTasks;
+          spec.numMachines = 2;
+          spec.rho = config.rho;
+          spec.beta = beta;
+          const Instance inst =
+              buildInstance(std::move(machines), thetas, spec, rng);
+          const FrOptResult fr = solveFrOpt(inst);
+          const EnergyProfile naive = naiveProfile(inst);
+          const double horizon = inst.maxDeadline();
+          return std::vector<double>{fr.refinedProfile[0],
+                                     fr.refinedProfile[1], naive[0], naive[1],
+                                     horizon, fr.refinedProfile[0] / horizon,
+                                     fr.refinedProfile[1] / horizon};
+        });
+    Fig6Row row;
+    row.beta = beta;
+    row.profile1 = stats[0];
+    row.profile2 = stats[1];
+    row.naiveProfile1 = stats[2];
+    row.naiveProfile2 = stats[3];
+    row.dmax = stats[4].mean();
+    row.normalized1 = stats[5];
+    row.normalized2 = stats[6];
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace dsct

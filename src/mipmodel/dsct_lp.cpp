@@ -1,0 +1,100 @@
+#include "mipmodel/dsct_lp.h"
+
+#include <string>
+
+#include "util/check.h"
+
+namespace dsct {
+
+DsctLp buildFractionalLp(const Instance& inst) {
+  DsctLp out;
+  out.numTasks = inst.numTasks();
+  out.numMachines = inst.numMachines();
+  lp::Model& model = out.model;
+  model.setMaximize(true);
+
+  const int n = inst.numTasks();
+  const int m = inst.numMachines();
+
+  // t_jr >= 0 (no objective coefficient).
+  for (int j = 0; j < n; ++j) {
+    for (int r = 0; r < m; ++r) {
+      model.addVariable(0.0, lp::kInfinity, 0.0, lp::VarType::kContinuous,
+                        "t_" + std::to_string(j) + "_" + std::to_string(r));
+    }
+  }
+  // z_j in [0, 1], objective +1 (maximise total accuracy).
+  for (int j = 0; j < n; ++j) {
+    model.addVariable(0.0, 1.0, 1.0, lp::VarType::kContinuous,
+                      "z_" + std::to_string(j));
+  }
+
+  // (3b) z_j <= alpha_jk * Σ_r s_r t_jr + b_jk for every segment k.
+  for (int j = 0; j < n; ++j) {
+    const PiecewiseLinearAccuracy& acc = inst.task(j).accuracy;
+    for (int k = 0; k < acc.numSegments(); ++k) {
+      const double alpha = acc.slope(k);
+      const double intercept = acc.valueAt(k) - alpha * acc.breakpoint(k);
+      std::vector<std::pair<int, double>> row;
+      row.reserve(static_cast<std::size_t>(m) + 1);
+      row.emplace_back(out.zVar(j), 1.0);
+      for (int r = 0; r < m; ++r) {
+        row.emplace_back(out.tVar(j, r), -alpha * inst.machine(r).speed);
+      }
+      model.addConstraint(std::move(row), lp::Sense::kLe, intercept,
+                          "acc_" + std::to_string(j) + "_" + std::to_string(k));
+    }
+  }
+
+  // (3c) prefix deadlines: Σ_{i<=j} t_ir <= d_j per machine.
+  for (int r = 0; r < m; ++r) {
+    for (int j = 0; j < n; ++j) {
+      std::vector<std::pair<int, double>> row;
+      row.reserve(static_cast<std::size_t>(j) + 1);
+      for (int i = 0; i <= j; ++i) row.emplace_back(out.tVar(i, r), 1.0);
+      model.addConstraint(std::move(row), lp::Sense::kLe,
+                          inst.task(j).deadline,
+                          "ddl_" + std::to_string(j) + "_" + std::to_string(r));
+    }
+  }
+
+  // (3d) Σ_r s_r t_jr <= f_j^max.
+  for (int j = 0; j < n; ++j) {
+    std::vector<std::pair<int, double>> row;
+    row.reserve(static_cast<std::size_t>(m));
+    for (int r = 0; r < m; ++r) {
+      row.emplace_back(out.tVar(j, r), inst.machine(r).speed);
+    }
+    model.addConstraint(std::move(row), lp::Sense::kLe, inst.task(j).fmax(),
+                        "fmax_" + std::to_string(j));
+  }
+
+  // (3e) energy budget: Σ_jr P_r t_jr <= B.
+  {
+    std::vector<std::pair<int, double>> row;
+    row.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(m));
+    for (int j = 0; j < n; ++j) {
+      for (int r = 0; r < m; ++r) {
+        row.emplace_back(out.tVar(j, r), inst.machine(r).power());
+      }
+    }
+    model.addConstraint(std::move(row), lp::Sense::kLe, inst.energyBudget(),
+                        "energy");
+  }
+
+  return out;
+}
+
+FractionalSchedule extractFractional(const Instance& inst, const DsctLp& lp,
+                                     const std::vector<double>& x) {
+  DSCT_CHECK(static_cast<int>(x.size()) == lp.model.numVariables());
+  FractionalSchedule s(inst.numTasks(), inst.numMachines());
+  for (int j = 0; j < inst.numTasks(); ++j) {
+    for (int r = 0; r < inst.numMachines(); ++r) {
+      s.set(j, r, std::max(0.0, x[static_cast<std::size_t>(lp.tVar(j, r))]));
+    }
+  }
+  return s;
+}
+
+}  // namespace dsct

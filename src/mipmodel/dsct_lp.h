@@ -1,0 +1,30 @@
+// Fractional relaxation DSCT-EA-FR as a linear program (paper (3a)-(3f)).
+//
+// Used to cross-validate DSCT-EA-FR-OPT (they must agree to LP tolerance)
+// and to reproduce Table 1 (combinatorial algorithm vs general LP solver).
+#pragma once
+
+#include "sched/schedule.h"
+#include "sched/types.h"
+#include "solver/model.h"
+
+namespace dsct {
+
+struct DsctLp {
+  lp::Model model;  ///< maximisation of Σ z_j
+  int numTasks = 0;
+  int numMachines = 0;
+
+  /// Variable index of t_jr.
+  int tVar(int j, int r) const { return j * numMachines + r; }
+  /// Variable index of z_j.
+  int zVar(int j) const { return numTasks * numMachines + j; }
+};
+
+DsctLp buildFractionalLp(const Instance& inst);
+
+/// Read the t_jr block of an LP solution back into a schedule.
+FractionalSchedule extractFractional(const Instance& inst, const DsctLp& lp,
+                                     const std::vector<double>& x);
+
+}  // namespace dsct

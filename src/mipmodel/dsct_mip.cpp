@@ -1,0 +1,166 @@
+#include "mipmodel/dsct_mip.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/check.h"
+
+namespace dsct {
+
+DsctMip buildMip(const Instance& inst) {
+  DsctMip out;
+  out.numTasks = inst.numTasks();
+  out.numMachines = inst.numMachines();
+  lp::Model& model = out.model;
+  model.setMaximize(true);
+
+  const int n = inst.numTasks();
+  const int m = inst.numMachines();
+
+  for (int j = 0; j < n; ++j) {
+    for (int r = 0; r < m; ++r) {
+      model.addVariable(0.0, lp::kInfinity, 0.0, lp::VarType::kContinuous,
+                        "t_" + std::to_string(j) + "_" + std::to_string(r));
+    }
+  }
+  for (int j = 0; j < n; ++j) {
+    for (int r = 0; r < m; ++r) {
+      model.addBinary(0.0, "x_" + std::to_string(j) + "_" + std::to_string(r));
+    }
+  }
+  for (int j = 0; j < n; ++j) {
+    model.addVariable(0.0, 1.0, 1.0, lp::VarType::kContinuous,
+                      "z_" + std::to_string(j));
+  }
+
+  // (1a) via epigraph variables: z_j <= alpha_jk Σ_r s_r t_jr + b_jk.
+  for (int j = 0; j < n; ++j) {
+    const PiecewiseLinearAccuracy& acc = inst.task(j).accuracy;
+    for (int k = 0; k < acc.numSegments(); ++k) {
+      const double alpha = acc.slope(k);
+      const double intercept = acc.valueAt(k) - alpha * acc.breakpoint(k);
+      std::vector<std::pair<int, double>> row;
+      row.emplace_back(out.zVar(j), 1.0);
+      for (int r = 0; r < m; ++r) {
+        row.emplace_back(out.tVar(j, r), -alpha * inst.machine(r).speed);
+      }
+      model.addConstraint(std::move(row), lp::Sense::kLe, intercept,
+                          "acc_" + std::to_string(j) + "_" + std::to_string(k));
+    }
+  }
+
+  // (1b) prefix deadlines per machine.
+  for (int r = 0; r < m; ++r) {
+    for (int j = 0; j < n; ++j) {
+      std::vector<std::pair<int, double>> row;
+      for (int i = 0; i <= j; ++i) row.emplace_back(out.tVar(i, r), 1.0);
+      model.addConstraint(std::move(row), lp::Sense::kLe,
+                          inst.task(j).deadline,
+                          "ddl_" + std::to_string(j) + "_" + std::to_string(r));
+    }
+  }
+
+  // (1c) FLOP cap (aggregated form; equivalent under (1d)-(1e)).
+  for (int j = 0; j < n; ++j) {
+    std::vector<std::pair<int, double>> row;
+    for (int r = 0; r < m; ++r) {
+      row.emplace_back(out.tVar(j, r), inst.machine(r).speed);
+    }
+    model.addConstraint(std::move(row), lp::Sense::kLe, inst.task(j).fmax(),
+                        "fmax_" + std::to_string(j));
+  }
+
+  // (1d) linking t_jr <= M_jr x_jr with the tightest valid big-M.
+  for (int j = 0; j < n; ++j) {
+    for (int r = 0; r < m; ++r) {
+      const double bigM = std::min(inst.task(j).deadline,
+                                   inst.task(j).fmax() / inst.machine(r).speed);
+      model.addConstraint({{out.tVar(j, r), 1.0}, {out.xVar(j, r), -bigM}},
+                          lp::Sense::kLe, 0.0,
+                          "link_" + std::to_string(j) + "_" + std::to_string(r));
+    }
+  }
+
+  // (1e) each task is assigned exactly one machine.
+  for (int j = 0; j < n; ++j) {
+    std::vector<std::pair<int, double>> row;
+    for (int r = 0; r < m; ++r) row.emplace_back(out.xVar(j, r), 1.0);
+    model.addConstraint(std::move(row), lp::Sense::kEq, 1.0,
+                        "assign_" + std::to_string(j));
+  }
+
+  // (1f) energy budget.
+  {
+    std::vector<std::pair<int, double>> row;
+    for (int j = 0; j < n; ++j) {
+      for (int r = 0; r < m; ++r) {
+        row.emplace_back(out.tVar(j, r), inst.machine(r).power());
+      }
+    }
+    model.addConstraint(std::move(row), lp::Sense::kLe, inst.energyBudget(),
+                        "energy");
+  }
+
+  return out;
+}
+
+std::vector<double> mipStart(const Instance& inst, const DsctMip& mip,
+                             const IntegralSchedule& schedule) {
+  std::vector<double> x(static_cast<std::size_t>(mip.model.numVariables()),
+                        0.0);
+  for (int j = 0; j < inst.numTasks(); ++j) {
+    int r = schedule.machineOf(j);
+    double duration = schedule.duration(j);
+    if (r < 0) {
+      r = 0;  // (1e) requires an assignment even for zero-time tasks
+      duration = 0.0;
+    }
+    x[static_cast<std::size_t>(mip.xVar(j, r))] = 1.0;
+    x[static_cast<std::size_t>(mip.tVar(j, r))] = duration;
+    // For a concave PWL function, a(f) = min_k(alpha_k f + b_k), so setting
+    // z_j to the achieved accuracy satisfies every segment row tightly.
+    const double f = inst.machine(r).speed * duration;
+    x[static_cast<std::size_t>(mip.zVar(j))] =
+        inst.task(j).accuracy.value(f);
+  }
+  return x;
+}
+
+IntegralSchedule extractIntegral(const Instance& inst, const DsctMip& mip,
+                                 const std::vector<double>& x) {
+  DSCT_CHECK(static_cast<int>(x.size()) == mip.model.numVariables());
+  std::vector<int> machineOf(static_cast<std::size_t>(inst.numTasks()), -1);
+  std::vector<double> duration(static_cast<std::size_t>(inst.numTasks()), 0.0);
+  for (int j = 0; j < inst.numTasks(); ++j) {
+    int best = 0;
+    for (int r = 1; r < inst.numMachines(); ++r) {
+      if (x[static_cast<std::size_t>(mip.xVar(j, r))] >
+          x[static_cast<std::size_t>(mip.xVar(j, best))]) {
+        best = r;
+      }
+    }
+    machineOf[static_cast<std::size_t>(j)] = best;
+    duration[static_cast<std::size_t>(j)] =
+        std::max(0.0, x[static_cast<std::size_t>(mip.tVar(j, best))]);
+  }
+  return IntegralSchedule::build(inst, std::move(machineOf),
+                                 std::move(duration));
+}
+
+MipSolveSummary solveDsctMip(const Instance& inst,
+                             const lp::MipOptions& options,
+                             const IntegralSchedule* warmStart) {
+  DsctMip mip = buildMip(inst);
+  lp::MipOptions opts = options;
+  if (warmStart != nullptr) {
+    opts.initialSolution = mipStart(inst, mip, *warmStart);
+  }
+  MipSolveSummary summary{lp::solveMip(mip.model, opts), std::nullopt, 0.0};
+  if (summary.result.hasSolution) {
+    summary.schedule = extractIntegral(inst, mip, summary.result.x);
+    summary.totalAccuracy = summary.schedule->totalAccuracy(inst);
+  }
+  return summary;
+}
+
+}  // namespace dsct

@@ -1,0 +1,37 @@
+// Algorithm 5 of the paper: DSCT-EA-APPROX.
+//
+// Rounds the optimal fractional solution to an integral one: tasks are
+// placed (in deadline order) on the least-loaded machine whose fractional
+// load quota w^max_r is not yet exhausted; each task receives its fractional
+// FLOP quota translated to time on the chosen machine, clamped by the
+// machine quota; deadline violations are then repaired by cutting and
+// shifting. Satisfies OPT − G <= SOL <= OPT with G from guarantee.h.
+#pragma once
+
+#include "sched/fr_opt.h"
+#include "sched/guarantee.h"
+#include "sched/schedule.h"
+#include "sched/types.h"
+
+namespace dsct {
+
+struct ApproxResult {
+  IntegralSchedule schedule;
+  FrOptResult fractional;       ///< the relaxation used for rounding
+  GuaranteeBreakdown guarantee;
+  double totalAccuracy = 0.0;   ///< SOL
+  double upperBound = 0.0;      ///< OPT of the relaxation (DSCT-EA-UB)
+  double energy = 0.0;          ///< Joules consumed by the integral schedule
+
+  double optimalityGap() const { return upperBound - totalAccuracy; }
+};
+
+ApproxResult solveApprox(const Instance& inst,
+                         const RefineOptions& refineOptions = {});
+
+/// Rounding step alone (exposed for tests): integralises a fractional
+/// solution using per-machine load quotas `wmax`.
+IntegralSchedule roundFractional(const Instance& inst,
+                                 const FractionalSchedule& fractional);
+
+}  // namespace dsct

@@ -1,0 +1,52 @@
+#include "sched/energy_profile.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dsct {
+
+double profileEnergy(const Instance& inst, const EnergyProfile& profile) {
+  DSCT_CHECK(static_cast<int>(profile.size()) == inst.numMachines());
+  double joules = 0.0;
+  for (int r = 0; r < inst.numMachines(); ++r) {
+    joules += profile[static_cast<std::size_t>(r)] * inst.machine(r).power();
+  }
+  return joules;
+}
+
+EnergyProfile naiveProfile(const Instance& inst) {
+  return naiveProfile(inst, inst.maxDeadline());
+}
+
+EnergyProfile naiveProfile(const Instance& inst, double horizon) {
+  DSCT_CHECK(horizon >= 0.0);
+  EnergyProfile profile(static_cast<std::size_t>(inst.numMachines()), 0.0);
+  double remaining = inst.energyBudget();
+  for (int r : inst.machinesByEfficiencyDesc()) {
+    const double power = inst.machine(r).power();
+    const double p = std::min(remaining / power, horizon);
+    profile[static_cast<std::size_t>(r)] = std::max(0.0, p);
+    remaining -= profile[static_cast<std::size_t>(r)] * power;
+    if (remaining <= 0.0) break;
+  }
+  return profile;
+}
+
+double energyMarginalGain(const Instance& inst,
+                          const FractionalSchedule& schedule, int task,
+                          int machine) {
+  const double f = schedule.flops(inst, task);
+  return inst.machine(machine).efficiency *
+         inst.task(task).accuracy.marginalGain(f);
+}
+
+double energyMarginalLoss(const Instance& inst,
+                          const FractionalSchedule& schedule, int task,
+                          int machine) {
+  const double f = schedule.flops(inst, task);
+  return inst.machine(machine).efficiency *
+         inst.task(task).accuracy.marginalLoss(f);
+}
+
+}  // namespace dsct

@@ -1,0 +1,45 @@
+// Energy profiles (Section 3.2 of the paper).
+//
+// The energy profile p_r of machine r is the maximum amount of work
+// (seconds) allowed on that machine; a profile collection is budget-feasible
+// when Σ_r p_r · P_r <= B. The *naive* profile fills machines in order of
+// decreasing energy efficiency up to the horizon d^max until the budget is
+// exhausted.
+#pragma once
+
+#include <vector>
+
+#include "sched/schedule.h"
+#include "sched/types.h"
+
+namespace dsct {
+
+/// Seconds of allowed work per machine (indexed like Instance machines).
+using EnergyProfile = std::vector<double>;
+
+/// Total energy consumed when every machine is used up to its profile.
+double profileEnergy(const Instance& inst, const EnergyProfile& profile);
+
+/// The naive profile: machines in non-increasing efficiency order get
+/// p_r = min((B − spent)/P_r, d^max).
+EnergyProfile naiveProfile(const Instance& inst);
+
+/// Naive profile against an arbitrary horizon (used by tests and by the
+/// serving simulator when the batch horizon differs from d^max).
+EnergyProfile naiveProfile(const Instance& inst, double horizon);
+
+// --- Energy marginal gain / loss (paper Section 3.2) -----------------------
+// For task j on machine r at allocation f_j: the accuracy gained (lost) per
+// Joule when the processing time of j on r is increased (decreased):
+//   gain = E_r · a'+_j(f_j),   loss = E_r · a'−_j(f_j).
+// These are the quantities RefineProfile's accuracy-per-Joule ψ ordering and
+// the KKT checker's condition 2 are built on.
+
+double energyMarginalGain(const Instance& inst,
+                          const FractionalSchedule& schedule, int task,
+                          int machine);
+double energyMarginalLoss(const Instance& inst,
+                          const FractionalSchedule& schedule, int task,
+                          int machine);
+
+}  // namespace dsct

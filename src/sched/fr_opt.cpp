@@ -1,0 +1,274 @@
+#include "sched/fr_opt.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sched/naive_solution.h"
+#include "solver/model.h"
+#include "solver/simplex.h"
+
+namespace dsct {
+
+namespace {
+
+/// Grant unused budget to machines below the horizon, most efficient first.
+/// With strict deadlines the funded machines cannot always absorb their
+/// naive profiles (their loads stall below p_r); the leftover energy then
+/// buys *parallel* capacity on so-far unfunded machines.
+EnergyProfile expandProfile(const Instance& inst, const EnergyProfile& loads,
+                            double leftover) {
+  EnergyProfile profile = loads;
+  const double horizon = inst.maxDeadline();
+  for (int r : inst.machinesByEfficiencyDesc()) {
+    if (leftover <= 0.0) break;
+    const double power = inst.machine(r).power();
+    const double grow = std::min(
+        horizon - profile[static_cast<std::size_t>(r)], leftover / power);
+    if (grow <= 0.0) continue;
+    profile[static_cast<std::size_t>(r)] += grow;
+    leftover -= grow * power;
+  }
+  return profile;
+}
+
+/// Expansion candidates: the efficiency-greedy profile above, plus one
+/// profile per machine that grants the whole leftover to that machine. With
+/// binding deadlines the best recipient is not necessarily the most
+/// efficient machine — a fast machine adds capacity inside every deadline
+/// window — so each candidate is evaluated by re-solving.
+std::vector<EnergyProfile> expansionCandidates(const Instance& inst,
+                                               const EnergyProfile& loads,
+                                               double leftover) {
+  std::vector<EnergyProfile> candidates;
+  candidates.push_back(expandProfile(inst, loads, leftover));
+  const double horizon = inst.maxDeadline();
+  for (int r = 0; r < inst.numMachines(); ++r) {
+    const double power = inst.machine(r).power();
+    const double grow = std::min(
+        horizon - loads[static_cast<std::size_t>(r)], leftover / power);
+    if (grow <= 0.0) continue;
+    EnergyProfile profile = loads;
+    profile[static_cast<std::size_t>(r)] += grow;
+    candidates.push_back(std::move(profile));
+  }
+  return candidates;
+}
+
+}  // namespace
+
+FrOptResult solveFrOpt(const Instance& inst,
+                       const RefineOptions& refineOptions) {
+  NaiveSolution naive = computeNaiveSolution(inst);
+  FrOptResult result{std::move(naive.schedule), std::move(naive.profile),
+                     {}, {}, 0.0, 0.0};
+
+  // Alternate three fixed-point steps until none improves:
+  //  * expandProfile — spend leftover budget on additional parallel
+  //    capacity (complementary slackness on the budget row);
+  //  * refineProfile — move energy between (segment, machine) pairs
+  //    (explores the profile space, Algorithm 3);
+  //  * solveForProfile — re-derive the optimal allocation for the current
+  //    machine loads (Algorithm 2's core, exact for any given profile).
+  // The plain paper pipeline is one refine pass; the extra steps repair the
+  // cases a transfer-only pass cannot reach (DESIGN.md §6).
+  constexpr int kMaxOuterRounds = 16;
+  constexpr double kImprovementTol = 1e-10;
+  const auto maybeAdopt = [&](FractionalSchedule candidate) {
+    if (candidate.totalAccuracy(inst) >
+        result.schedule.totalAccuracy(inst) + kImprovementTol) {
+      result.schedule = std::move(candidate);
+      return true;
+    }
+    return false;
+  };
+
+  // Escape step for plateaus of the first-order moves: move a quantum of
+  // *profile energy* from machine r to machine r' and re-solve. Because the
+  // optimal value is a concave function of the profile vector (LP value of
+  // its RHS), a pairwise line search over transfer sizes recovers composite
+  // moves that single (segment, machine) transfers cannot express.
+  const auto pairSearch = [&]() {
+    const double horizon = inst.maxDeadline();
+    bool improved = false;
+    for (int from = 0; from < inst.numMachines(); ++from) {
+      for (int to = 0; to < inst.numMachines(); ++to) {
+        if (to == from) continue;
+        const EnergyProfile loads = result.schedule.machineLoads();
+        const double available = loads[static_cast<std::size_t>(from)] *
+                                 inst.machine(from).power();
+        if (available <= 1e-12) continue;
+        const auto valueAt = [&](double delta) {
+          EnergyProfile profile = loads;
+          profile[static_cast<std::size_t>(from)] -=
+              delta / inst.machine(from).power();
+          profile[static_cast<std::size_t>(to)] =
+              std::min(horizon, profile[static_cast<std::size_t>(to)] +
+                                    delta / inst.machine(to).power());
+          return solveForProfile(inst, profile).totalAccuracy(inst);
+        };
+        // V(delta) is concave (LP value of its right-hand side): ternary
+        // search pins the best transfer size along this direction.
+        double lo = 0.0;
+        double hi = available;
+        const double base = result.schedule.totalAccuracy(inst);
+        // Quick screen: skip directions with no improvement anywhere.
+        if (valueAt(hi / 2.0) <= base + kImprovementTol &&
+            valueAt(hi / 64.0) <= base + kImprovementTol &&
+            valueAt(hi) <= base + kImprovementTol) {
+          continue;
+        }
+        for (int iter = 0; iter < 48 && hi - lo > 1e-12 * available; ++iter) {
+          const double m1 = lo + (hi - lo) / 3.0;
+          const double m2 = hi - (hi - lo) / 3.0;
+          if (valueAt(m1) < valueAt(m2)) {
+            lo = m1;
+          } else {
+            hi = m2;
+          }
+        }
+        const double delta = (lo + hi) / 2.0;
+        EnergyProfile profile = loads;
+        profile[static_cast<std::size_t>(from)] -=
+            delta / inst.machine(from).power();
+        profile[static_cast<std::size_t>(to)] =
+            std::min(horizon, profile[static_cast<std::size_t>(to)] +
+                                  delta / inst.machine(to).power());
+        if (maybeAdopt(solveForProfile(inst, profile))) improved = true;
+      }
+    }
+    return improved;
+  };
+
+  // Direction search over the profile polytope
+  // {p : Σ p_r P_r <= B, 0 <= p_r <= d_max}. V(p) — the optimal accuracy
+  // for profile caps p — is concave (LP value as a function of its RHS) but
+  // kinked: at a kink, directional derivatives are superadditive, so a
+  // joint multi-machine move can improve while every pairwise move fails.
+  // We therefore compute both one-sided derivatives per machine and solve a
+  // tiny direction LP (split d = u − v); a concave line search along the
+  // resulting direction then takes the step.
+  const auto directionSearch = [&]() {
+    const double horizon = inst.maxDeadline();
+    const int m = inst.numMachines();
+    bool improvedAny = false;
+    const auto value = [&](const EnergyProfile& q) {
+      return solveForProfile(inst, q).totalAccuracy(inst);
+    };
+    EnergyProfile p = result.schedule.machineLoads();
+    for (int iter = 0; iter < 24; ++iter) {
+      const double v0 = value(p);
+      const double eps = std::max(1e-10, 1e-7 * horizon);
+      std::vector<double> gainUp(static_cast<std::size_t>(m), 0.0);
+      std::vector<double> lossDown(static_cast<std::size_t>(m), 0.0);
+      for (int r = 0; r < m; ++r) {
+        if (p[static_cast<std::size_t>(r)] + eps <= horizon) {
+          EnergyProfile q = p;
+          q[static_cast<std::size_t>(r)] += eps;
+          gainUp[static_cast<std::size_t>(r)] = (value(q) - v0) / eps;
+        }
+        if (p[static_cast<std::size_t>(r)] >= eps) {
+          EnergyProfile q = p;
+          q[static_cast<std::size_t>(r)] -= eps;
+          lossDown[static_cast<std::size_t>(r)] = (v0 - value(q)) / eps;
+        }
+      }
+      // Direction LP: max Σ gainUp_r u_r − Σ lossDown_r v_r
+      //   s.t. Σ P_r (u_r − v_r) <= budget slack,
+      //        0 <= u_r <= d_max − p_r, 0 <= v_r <= p_r.
+      lp::Model dir;
+      dir.setMaximize(true);
+      std::vector<std::pair<int, double>> budgetRow;
+      for (int r = 0; r < m; ++r) {
+        const double power = inst.machine(r).power();
+        const int u = dir.addVariable(
+            0.0, std::max(0.0, horizon - p[static_cast<std::size_t>(r)]),
+            gainUp[static_cast<std::size_t>(r)]);
+        const int v = dir.addVariable(0.0, p[static_cast<std::size_t>(r)],
+                                      -lossDown[static_cast<std::size_t>(r)]);
+        budgetRow.emplace_back(u, power);
+        budgetRow.emplace_back(v, -power);
+      }
+      double slack = inst.energyBudget();
+      for (int r = 0; r < m; ++r) {
+        slack -= p[static_cast<std::size_t>(r)] * inst.machine(r).power();
+      }
+      dir.addConstraint(std::move(budgetRow), lp::Sense::kLe,
+                        std::max(0.0, slack));
+      const lp::LpResult dirRes = lp::solveLp(dir);
+      if (dirRes.status != lp::SolveStatus::kOptimal ||
+          dirRes.objective <= 1e-9) {
+        break;  // no improving direction at this kink
+      }
+      EnergyProfile direction(static_cast<std::size_t>(m), 0.0);
+      for (int r = 0; r < m; ++r) {
+        direction[static_cast<std::size_t>(r)] =
+            dirRes.x[static_cast<std::size_t>(2 * r)] -
+            dirRes.x[static_cast<std::size_t>(2 * r + 1)];
+      }
+      // Concave line search along p + t·direction, t in [0, 1].
+      const auto at = [&](double t) {
+        EnergyProfile q = p;
+        for (int r = 0; r < m; ++r) {
+          q[static_cast<std::size_t>(r)] = std::clamp(
+              q[static_cast<std::size_t>(r)] +
+                  t * direction[static_cast<std::size_t>(r)],
+              0.0, horizon);
+        }
+        return q;
+      };
+      double lo = 0.0, hi = 1.0;
+      for (int ls = 0; ls < 48 && hi - lo > 1e-12; ++ls) {
+        const double m1 = lo + (hi - lo) / 3.0;
+        const double m2 = hi - (hi - lo) / 3.0;
+        if (value(at(m1)) < value(at(m2))) {
+          lo = m1;
+        } else {
+          hi = m2;
+        }
+      }
+      // Prefer the full step when the line search plateaus at the boundary.
+      EnergyProfile next = at((lo + hi) / 2.0);
+      if (value(at(1.0)) >= value(next)) next = at(1.0);
+      if (value(next) <= v0 + kImprovementTol) break;
+      p = std::move(next);
+      if (maybeAdopt(solveForProfile(inst, p))) improvedAny = true;
+    }
+    return improvedAny;
+  };
+
+  double best = result.schedule.totalAccuracy(inst);
+  for (int round = 0; round < kMaxOuterRounds; ++round) {
+    const double leftover =
+        inst.energyBudget() - result.schedule.energy(inst);
+    if (leftover > 1e-12 * std::max(1.0, inst.energyBudget())) {
+      const EnergyProfile loads = result.schedule.machineLoads();
+      for (const EnergyProfile& candidate :
+           expansionCandidates(inst, loads, leftover)) {
+        maybeAdopt(solveForProfile(inst, candidate));
+      }
+    }
+
+    const RefineStats stats =
+        refineProfile(inst, result.schedule, refineOptions);
+    result.refineStats.rounds += stats.rounds;
+    result.refineStats.transfers += stats.transfers;
+    result.refineStats.energyMoved += stats.energyMoved;
+
+    maybeAdopt(solveForProfile(inst, result.schedule.machineLoads()));
+
+    const double current = result.schedule.totalAccuracy(inst);
+    if (stats.transfers == 0 && current <= best + kImprovementTol) {
+      // First-order fixed point reached: try the pairwise profile search,
+      // then the Frank-Wolfe refinement, before concluding.
+      if (!pairSearch() && !directionSearch()) break;
+    }
+    best = std::max(best, result.schedule.totalAccuracy(inst));
+  }
+
+  result.refinedProfile = result.schedule.machineLoads();
+  result.totalAccuracy = result.schedule.totalAccuracy(inst);
+  result.energy = result.schedule.energy(inst);
+  return result;
+}
+
+}  // namespace dsct

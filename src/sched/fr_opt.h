@@ -1,0 +1,24 @@
+// Algorithm 4 of the paper: DSCT-EA-FR-OPT — optimal solution of the
+// fractional relaxation via ComputeNaiveSolution + RefineProfile.
+#pragma once
+
+#include "sched/energy_profile.h"
+#include "sched/refine_profile.h"
+#include "sched/schedule.h"
+#include "sched/types.h"
+
+namespace dsct {
+
+struct FrOptResult {
+  FractionalSchedule schedule;
+  EnergyProfile naiveProfile;    ///< profile before refinement
+  EnergyProfile refinedProfile;  ///< realised machine loads after refinement
+  RefineStats refineStats;
+  double totalAccuracy = 0.0;
+  double energy = 0.0;  ///< Joules actually consumed
+};
+
+FrOptResult solveFrOpt(const Instance& inst,
+                       const RefineOptions& refineOptions = {});
+
+}  // namespace dsct

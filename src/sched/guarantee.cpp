@@ -1,0 +1,37 @@
+#include "sched/guarantee.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dsct {
+
+GuaranteeBreakdown approximationGuarantee(const Instance& inst) {
+  GuaranteeBreakdown out;
+  double thetaMin = std::numeric_limits<double>::infinity();
+  double thetaMax = 0.0;
+  double amin = std::numeric_limits<double>::infinity();
+  double amax = 0.0;
+  for (const Task& task : inst.tasks()) {
+    amin = std::min(amin, task.amin());
+    amax = std::max(amax, task.amax());
+    const PiecewiseLinearAccuracy& acc = task.accuracy;
+    for (int k = 0; k < acc.numSegments(); ++k) {
+      const double slope = acc.slope(k);
+      if (slope <= 0.0) continue;
+      thetaMin = std::min(thetaMin, slope);
+      thetaMax = std::max(thetaMax, slope);
+    }
+  }
+  if (inst.numTasks() == 0 || !std::isfinite(thetaMin) || thetaMax <= 0.0) {
+    return out;  // no positive slopes: nothing to lose, G = 0
+  }
+  out.thetaMin = thetaMin;
+  out.thetaMax = thetaMax;
+  out.accuracyRange = std::max(0.0, amax - amin);
+  out.g = static_cast<double>(inst.numMachines()) * out.accuracyRange *
+          (1.0 + std::log(thetaMax / thetaMin));
+  return out;
+}
+
+}  // namespace dsct

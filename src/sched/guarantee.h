@@ -1,0 +1,20 @@
+// Additive performance guarantee of DSCT-EA-APPROX (paper Eq. 14):
+//   G = m · (a_max − a_min) · (1 + ln(θ_max / θ_min))
+// where θ_max is the steepest and θ_min the shallowest positive marginal
+// gain across all tasks' accuracy segments. OPT − G <= SOL <= OPT.
+#pragma once
+
+#include "sched/types.h"
+
+namespace dsct {
+
+struct GuaranteeBreakdown {
+  double thetaMin = 0.0;      ///< min positive segment slope
+  double thetaMax = 0.0;      ///< max segment slope
+  double accuracyRange = 0.0; ///< max a_max − min a_min across tasks
+  double g = 0.0;             ///< the additive guarantee
+};
+
+GuaranteeBreakdown approximationGuarantee(const Instance& inst);
+
+}  // namespace dsct

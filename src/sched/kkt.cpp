@@ -1,0 +1,169 @@
+#include "sched/kkt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+namespace dsct {
+
+void KktReport::addFailure(std::string message, double improvement) {
+  satisfied = false;
+  failures.push_back(std::move(message));
+  worstImprovement = std::max(worstImprovement, improvement);
+}
+
+std::string KktReport::summary() const {
+  if (satisfied) return "KKT satisfied";
+  std::ostringstream os;
+  os << failures.size() << " KKT failure(s), worst improvement "
+     << worstImprovement << ':';
+  for (const std::string& f : failures) os << "\n  - " << f;
+  return os.str();
+}
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+KktReport checkKkt(const Instance& inst, const FractionalSchedule& schedule,
+                   const KktOptions& options) {
+  KktReport report;
+  const int n = inst.numTasks();
+  const int m = inst.numMachines();
+  if (n == 0) return report;
+
+  // Marginal gains/losses at the current allocation, snapped by flopsTol so
+  // allocations numerically at a breakpoint read the correct one-sided slope.
+  std::vector<double> flops(static_cast<std::size_t>(n));
+  std::vector<double> gain(static_cast<std::size_t>(n));
+  std::vector<double> loss(static_cast<std::size_t>(n));
+  std::vector<bool> headroom(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    const auto& acc = inst.task(j).accuracy;
+    const double f = schedule.flops(inst, j);
+    flops[static_cast<std::size_t>(j)] = f;
+    gain[static_cast<std::size_t>(j)] = acc.marginalGain(f + options.flopsTol);
+    loss[static_cast<std::size_t>(j)] = acc.marginalLoss(f - options.flopsTol);
+    headroom[static_cast<std::size_t>(j)] = f < acc.fmax() - options.flopsTol;
+  }
+
+  // Deadline slack per (task, machine): min_{i>=j}(d_i − prefix_i(r)).
+  std::vector<std::vector<double>> slack(
+      static_cast<std::size_t>(m),
+      std::vector<double>(static_cast<std::size_t>(n), 0.0));
+  for (int r = 0; r < m; ++r) {
+    double prefix = 0.0;
+    std::vector<double> room(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      prefix += schedule.at(j, r);
+      room[static_cast<std::size_t>(j)] = inst.task(j).deadline - prefix;
+    }
+    double suffixMin = kInf;
+    for (int j = n; j-- > 0;) {
+      suffixMin = std::min(suffixMin, room[static_cast<std::size_t>(j)]);
+      slack[static_cast<std::size_t>(r)][static_cast<std::size_t>(j)] =
+          suffixMin;
+    }
+  }
+
+  // --- Condition 1: forward time shifts on one machine ---
+  // Moving time from task j to a later task j' on the same machine is always
+  // prefix-feasible; optimality requires gain(j') <= loss(j).
+  for (int r = 0; r < m; ++r) {
+    double minLossSoFar = kInf;
+    int minLossTask = -1;
+    for (int j = 0; j < n; ++j) {
+      if (headroom[static_cast<std::size_t>(j)] &&
+          gain[static_cast<std::size_t>(j)] >
+              minLossSoFar + options.gainTol) {
+        std::ostringstream os;
+        os << "machine " << r << ": shifting time from task " << minLossTask
+           << " (loss " << minLossSoFar << ") to task " << j << " (gain "
+           << gain[static_cast<std::size_t>(j)] << ") improves accuracy";
+        report.addFailure(os.str(), gain[static_cast<std::size_t>(j)] -
+                                        minLossSoFar);
+      }
+      if (schedule.at(j, r) > options.timeTol &&
+          loss[static_cast<std::size_t>(j)] < minLossSoFar) {
+        minLossSoFar = loss[static_cast<std::size_t>(j)];
+        minLossTask = j;
+      }
+    }
+  }
+
+  // --- Condition 2: energy moves between allocations ---
+  // Donor: any (j, r) with t_jr > 0; energy marginal loss = loss(j) · E_r.
+  // Recipient: any (j', r') with FLOP headroom and deadline slack; energy
+  // marginal gain = gain(j') · E_r'. A move is a no-op only when donor and
+  // recipient are the same (task, machine) pair, so we track the two best
+  // candidates on each side.
+  struct Candidate {
+    double psi;
+    int task;
+    int machine;
+  };
+  Candidate donor1{kInf, -1, -1}, donor2{kInf, -1, -1};
+  Candidate recip1{-kInf, -1, -1}, recip2{-kInf, -1, -1};
+  for (int r = 0; r < m; ++r) {
+    const double e = inst.machine(r).efficiency;
+    for (int j = 0; j < n; ++j) {
+      if (schedule.at(j, r) > options.timeTol) {
+        const double psi = loss[static_cast<std::size_t>(j)] * e;
+        if (psi < donor1.psi) {
+          donor2 = donor1;
+          donor1 = {psi, j, r};
+        } else if (psi < donor2.psi) {
+          donor2 = {psi, j, r};
+        }
+      }
+      if (headroom[static_cast<std::size_t>(j)] &&
+          slack[static_cast<std::size_t>(r)][static_cast<std::size_t>(j)] >
+              options.timeTol) {
+        const double psi = gain[static_cast<std::size_t>(j)] * e;
+        if (psi > recip1.psi) {
+          recip2 = recip1;
+          recip1 = {psi, j, r};
+        } else if (psi > recip2.psi) {
+          recip2 = {psi, j, r};
+        }
+      }
+    }
+  }
+  const auto checkMove = [&](const Candidate& donor, const Candidate& recip) {
+    if (donor.task < 0 || recip.task < 0) return;
+    if (donor.task == recip.task && donor.machine == recip.machine) return;
+    if (recip.psi > donor.psi + options.gainTol) {
+      std::ostringstream os;
+      os << "energy move from task " << donor.task << "@machine "
+         << donor.machine << " (psi " << donor.psi << ") to task "
+         << recip.task << "@machine " << recip.machine << " (psi "
+         << recip.psi << ") improves accuracy";
+      report.addFailure(os.str(), recip.psi - donor.psi);
+    }
+  };
+  if (donor1.task == recip1.task && donor1.machine == recip1.machine) {
+    checkMove(donor1, recip2);
+    checkMove(donor2, recip1);
+  } else {
+    checkMove(donor1, recip1);
+  }
+
+  // --- Condition 3: leftover budget must be unusable ---
+  const double leftover = inst.energyBudget() - schedule.energy(inst);
+  if (leftover > options.energyTol && recip1.task >= 0 &&
+      recip1.psi > options.gainTol) {
+    std::ostringstream os;
+    os << "budget leftover " << leftover << " J while task " << recip1.task
+       << "@machine " << recip1.machine << " could absorb energy at psi "
+       << recip1.psi;
+    report.addFailure(os.str(), recip1.psi);
+  }
+
+  return report;
+}
+
+}  // namespace dsct

@@ -1,0 +1,41 @@
+// KKT-style optimality conditions for DSCT-EA-FR solutions (Section 3.2).
+//
+// The conditions are phrased as "no improving local move exists":
+//  * on one machine, shifting time from an earlier to a later task (always
+//    prefix-feasible) must not increase accuracy;
+//  * across machines, moving energy from any allocation to any task with
+//    deadline slack and remaining FLOP headroom must not increase accuracy;
+//  * leftover budget implies no task can still absorb useful energy.
+// These are exactly the paper's marginal-gain / energy-marginal-gain
+// conditions and are used as property tests for DSCT-EA-FR-OPT.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/schedule.h"
+#include "sched/types.h"
+
+namespace dsct {
+
+struct KktReport {
+  bool satisfied = true;
+  std::vector<std::string> failures;
+  /// Largest ψ improvement an admissible move could achieve (0 if optimal).
+  double worstImprovement = 0.0;
+
+  void addFailure(std::string message, double improvement);
+  std::string summary() const;
+};
+
+struct KktOptions {
+  double timeTol = 1e-7;    ///< slack threshold (seconds)
+  double flopsTol = 1e-7;   ///< FLOP headroom threshold (TFLOP)
+  double energyTol = 1e-6;  ///< leftover-budget threshold (J)
+  double gainTol = 1e-6;    ///< improvement threshold (accuracy per J or TFLOP)
+};
+
+KktReport checkKkt(const Instance& inst, const FractionalSchedule& schedule,
+                   const KktOptions& options = {});
+
+}  // namespace dsct

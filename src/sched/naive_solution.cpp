@@ -1,0 +1,102 @@
+#include "sched/naive_solution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "sched/single_machine.h"
+#include "util/check.h"
+
+namespace dsct {
+
+namespace {
+constexpr double kTimeTol = 1e-12;
+}
+
+std::vector<double> temporaryDeadlines(const Instance& inst,
+                                       const EnergyProfile& profile) {
+  DSCT_CHECK(static_cast<int>(profile.size()) == inst.numMachines());
+  std::vector<double> temp(static_cast<std::size_t>(inst.numTasks()), 0.0);
+  for (int j = 0; j < inst.numTasks(); ++j) {
+    const double dj = inst.task(j).deadline;
+    double capacity = 0.0;
+    for (int r = 0; r < inst.numMachines(); ++r) {
+      capacity += inst.machine(r).speed *
+                  std::min(dj, profile[static_cast<std::size_t>(r)]);
+    }
+    temp[static_cast<std::size_t>(j)] = capacity;
+  }
+  return temp;
+}
+
+FractionalSchedule solveForProfile(const Instance& inst,
+                                   const EnergyProfile& profile) {
+  DSCT_CHECK(static_cast<int>(profile.size()) == inst.numMachines());
+  const int n = inst.numTasks();
+  const int m = inst.numMachines();
+  FractionalSchedule schedule(n, m);
+  if (n == 0) return schedule;
+
+  // --- single-machine reduction (Algorithm 2 lines 6-9) ---
+  // On the unit-speed equivalent machine, "time" is TFLOP, so Algorithm 1
+  // returns the FLOP quota w_j of each task.
+  const std::vector<double> temp = temporaryDeadlines(inst, profile);
+  const std::vector<double> work =
+      scheduleSingleMachine(temp, 1.0, makeSegmentJobs(inst.tasks()));
+
+  // --- distribute work across machines (lines 10-21) ---
+  // Invariant: all machines still in the active set share a common clock T
+  // (every active machine has processed each previous task for the same
+  // duration). The active machine with the smallest profile is always the
+  // first to fill up, keeping T <= min(active profiles); deadline
+  // feasibility follows from the temporary-deadline capacity argument
+  // (DESIGN.md §6).
+  std::vector<int> active;
+  active.reserve(static_cast<std::size_t>(m));
+  for (int r = 0; r < m; ++r) active.push_back(r);
+  // Sort by profile descending so the smallest-profile machine sits at the
+  // back; ties resolved toward lower efficiency leaving the back first.
+  std::stable_sort(active.begin(), active.end(), [&](int a, int b) {
+    const double pa = profile[static_cast<std::size_t>(a)];
+    const double pb = profile[static_cast<std::size_t>(b)];
+    if (pa != pb) return pa > pb;
+    return inst.machine(a).efficiency > inst.machine(b).efficiency;
+  });
+  double clock = 0.0;
+  double activeSpeed = 0.0;
+  for (int r : active) activeSpeed += inst.machine(r).speed;
+
+  for (int j = 0; j < n; ++j) {
+    double w = work[static_cast<std::size_t>(j)];  // TFLOP still to place
+    while (w > kTimeTol && !active.empty()) {
+      const int kMin = active.back();  // smallest remaining profile
+      const double pMin = profile[static_cast<std::size_t>(kMin)];
+      const double tau = w / activeSpeed;
+      if (clock + tau > pMin + kTimeTol) {
+        // kMin would overflow its profile: fill it exactly and drop it.
+        const double delta = std::max(0.0, pMin - clock);
+        if (delta > 0.0) {
+          schedule.add(j, kMin, delta);
+          w -= inst.machine(kMin).speed * delta;
+        }
+        activeSpeed -= inst.machine(kMin).speed;
+        active.pop_back();
+        continue;
+      }
+      for (int r : active) schedule.add(j, r, tau);
+      clock += tau;
+      w = 0.0;
+    }
+    // Any residual w (active set exhausted) is dropped: the task is capped
+    // by the cluster's profile capacity, exactly as in the paper.
+  }
+  return schedule;
+}
+
+NaiveSolution computeNaiveSolution(const Instance& inst) {
+  EnergyProfile profile = naiveProfile(inst);
+  FractionalSchedule schedule = solveForProfile(inst, profile);
+  return NaiveSolution{std::move(schedule), std::move(profile)};
+}
+
+}  // namespace dsct

@@ -1,0 +1,37 @@
+// Algorithm 2 of the paper: ComputeNaiveSolution.
+//
+// Builds the naive energy profile (most-efficient machines first), collapses
+// the profile-limited cluster into an equivalent unit-speed single machine
+// via "temporary deadlines" d_j^temp = Σ_r s_r · min(d_j, p_r), solves it
+// with Algorithm 1, and redistributes the resulting per-task work across
+// machines with the common-clock rule (least-efficient machines are filled
+// to their profile and dropped from the active set).
+#pragma once
+
+#include "sched/energy_profile.h"
+#include "sched/schedule.h"
+#include "sched/types.h"
+
+namespace dsct {
+
+struct NaiveSolution {
+  FractionalSchedule schedule;
+  EnergyProfile profile;  ///< the naive profile the schedule respects
+};
+
+NaiveSolution computeNaiveSolution(const Instance& inst);
+
+/// The core of Algorithm 2, generalised to an arbitrary (budget-feasible)
+/// energy profile: the optimal fractional schedule subject to per-machine
+/// load caps `profile` and the deadline constraints. Used with the naive
+/// profile by computeNaiveSolution and with refined profiles by DSCT-EA-
+/// FR-OPT's refine/re-solve iteration.
+FractionalSchedule solveForProfile(const Instance& inst,
+                                   const EnergyProfile& profile);
+
+/// The temporary deadlines used by the single-machine reduction (exposed for
+/// testing): d_j^temp in TFLOP on the unit-speed equivalent machine.
+std::vector<double> temporaryDeadlines(const Instance& inst,
+                                       const EnergyProfile& profile);
+
+}  // namespace dsct

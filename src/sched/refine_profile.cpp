@@ -1,0 +1,129 @@
+#include "sched/refine_profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dsct {
+
+namespace {
+
+/// One (accuracy segment, machine) pair, the unit of the refinement search.
+struct Pair {
+  int task;
+  int segment;
+  int machine;
+  double slope;  ///< segment slope (accuracy per TFLOP)
+  double psi;    ///< accuracy-per-Joule ψ = slope · E_r
+  double fLo;
+  double fHi;
+};
+
+constexpr double kPsiTol = 1e-12;
+
+/// min_{i >= j} (d_i − prefix_i(r)): the largest amount by which t_{jr} can
+/// grow without violating any deadline at or after j on machine r.
+double deadlineSlack(const Instance& inst, const FractionalSchedule& s, int j,
+                     int r) {
+  double prefix = 0.0;
+  for (int i = 0; i < j; ++i) prefix += s.at(i, r);
+  double slack = std::numeric_limits<double>::infinity();
+  for (int i = j; i < inst.numTasks(); ++i) {
+    prefix += s.at(i, r);
+    slack = std::min(slack, inst.task(i).deadline - prefix);
+    if (slack <= 0.0) return 0.0;
+  }
+  return slack;
+}
+
+}  // namespace
+
+RefineStats refineProfile(const Instance& inst, FractionalSchedule& schedule,
+                          const RefineOptions& options) {
+  RefineStats stats;
+  const int n = inst.numTasks();
+  const int m = inst.numMachines();
+  if (n == 0) return stats;
+
+  // Static pair list sorted by non-increasing accuracy-per-Joule.
+  std::vector<Pair> pairs;
+  for (int j = 0; j < n; ++j) {
+    const PiecewiseLinearAccuracy& acc = inst.task(j).accuracy;
+    for (int k = 0; k < acc.numSegments(); ++k) {
+      const AccuracySegment seg = acc.segment(k);
+      for (int r = 0; r < m; ++r) {
+        const double e = inst.machine(r).efficiency;
+        pairs.push_back({j, k, r, seg.slope, seg.slope * e, seg.fLo, seg.fHi});
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) {
+    if (a.psi != b.psi) return a.psi > b.psi;
+    if (a.task != b.task) return a.task < b.task;
+    if (a.segment != b.segment) return a.segment < b.segment;
+    return a.machine < b.machine;
+  });
+
+  // Current FLOP allocation per task, updated incrementally.
+  std::vector<double> flops(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    flops[static_cast<std::size_t>(j)] = schedule.flops(inst, j);
+  }
+
+  for (stats.rounds = 0; stats.rounds < options.maxRounds; ++stats.rounds) {
+    long transfersThisRound = 0;
+    for (std::size_t p = 0; p < pairs.size(); ++p) {
+      const Pair& grow = pairs[p];
+      if (grow.slope <= 0.0) continue;  // flat segments can only donate
+      const Machine& mr = inst.machine(grow.machine);
+      const double fj = flops[static_cast<std::size_t>(grow.task)];
+      // Fill at most to the end of this segment; earlier (steeper) segments
+      // were already offered growth by higher-ψ pairs, so the realised
+      // marginal gain is at least grow.slope per TFLOP (concavity).
+      const double growFlops = grow.fHi - fj;
+      if (growFlops <= 1e-12) continue;
+      const double slack =
+          deadlineSlack(inst, schedule, grow.task, grow.machine);
+      double eAdd = std::min(growFlops / mr.efficiency,
+                             std::max(0.0, slack) * mr.power());
+      if (eAdd <= options.tol) continue;
+
+      // Scan donors from the cheapest ψ upward (paper line 9's reverse
+      // iteration); stop once donors are no cheaper than the grower.
+      for (std::size_t q = pairs.size(); q-- > p + 1 && eAdd > options.tol;) {
+        const Pair& shrink = pairs[q];
+        if (shrink.psi >= grow.psi - kPsiTol) break;
+        const double tShrink = schedule.at(shrink.task, shrink.machine);
+        if (tShrink <= 1e-12) continue;
+        const Machine& ms = inst.machine(shrink.machine);
+        const double fj2 = flops[static_cast<std::size_t>(shrink.task)];
+        const double usedInSeg =
+            std::clamp(fj2 - shrink.fLo, 0.0, shrink.fHi - shrink.fLo);
+        if (usedInSeg <= 1e-12) continue;
+        const double eSub =
+            std::min(usedInSeg / ms.efficiency, tShrink * ms.power());
+        const double eTransfer = std::min(eAdd, eSub);
+        if (eTransfer <= options.tol) continue;
+
+        schedule.add(grow.task, grow.machine, eTransfer / mr.power());
+        flops[static_cast<std::size_t>(grow.task)] +=
+            eTransfer * mr.efficiency;
+        schedule.set(shrink.task, shrink.machine,
+                     std::max(0.0, tShrink - eTransfer / ms.power()));
+        flops[static_cast<std::size_t>(shrink.task)] -=
+            eTransfer * ms.efficiency;
+
+        eAdd -= eTransfer;
+        stats.energyMoved += eTransfer;
+        ++stats.transfers;
+        ++transfersThisRound;
+      }
+    }
+    if (transfersThisRound == 0) break;
+  }
+  return stats;
+}
+
+}  // namespace dsct

@@ -1,0 +1,34 @@
+// Algorithm 3 of the paper: RefineProfile.
+//
+// Starting from the naive-profile solution, transfers energy from
+// (segment, machine) pairs with low accuracy-per-Joule ψ = slope · E_r to
+// pairs with high ψ, subject to deadline slack, until no beneficial transfer
+// remains. Combined with ComputeNaiveSolution this yields the optimal
+// fractional solution (KKT argument in the paper, cross-checked against the
+// LP in our tests).
+#pragma once
+
+#include "sched/schedule.h"
+#include "sched/types.h"
+
+namespace dsct {
+
+struct RefineOptions {
+  /// Upper bound on full passes over the pair list; each pass that performs
+  /// at least one transfer is followed by another, so this is a safety net.
+  int maxRounds = 64;
+  double tol = 1e-10;  ///< minimum transferred energy (J)
+};
+
+struct RefineStats {
+  int rounds = 0;
+  long transfers = 0;
+  double energyMoved = 0.0;  ///< total Joules re-allocated
+};
+
+/// Refines `schedule` in place. Total energy consumption never increases;
+/// total accuracy never decreases.
+RefineStats refineProfile(const Instance& inst, FractionalSchedule& schedule,
+                          const RefineOptions& options = {});
+
+}  // namespace dsct

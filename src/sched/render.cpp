@@ -1,0 +1,66 @@
+#include "sched/render.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace dsct {
+
+std::string renderGantt(const Instance& inst, const IntegralSchedule& schedule,
+                        const RenderOptions& options) {
+  DSCT_CHECK(options.width >= 16);
+  std::ostringstream os;
+  // Time scale: the latest deadline or completion.
+  double horizon = inst.maxDeadline();
+  for (int r = 0; r < inst.numMachines(); ++r) {
+    const auto& timeline = schedule.timeline(r);
+    if (!timeline.empty()) {
+      horizon = std::max(horizon, timeline.back().end());
+    }
+  }
+  if (horizon <= 0.0) horizon = 1.0;
+  const double perColumn = horizon / static_cast<double>(options.width);
+
+  for (int r = 0; r < inst.numMachines(); ++r) {
+    std::string lane(static_cast<std::size_t>(options.width), '.');
+    for (const ScheduledTask& e : schedule.timeline(r)) {
+      if (e.duration <= 0.0) continue;
+      const int c0 = std::clamp(
+          static_cast<int>(std::floor(e.start / perColumn)), 0,
+          options.width - 1);
+      const int c1 = std::clamp(
+          static_cast<int>(std::ceil(e.end() / perColumn)) - 1, c0,
+          options.width - 1);
+      const std::string label = std::to_string(e.task);
+      for (int c = c0; c <= c1; ++c) {
+        const std::size_t li = static_cast<std::size_t>(c - c0);
+        lane[static_cast<std::size_t>(c)] =
+            li < label.size() ? label[li] : '-';
+      }
+    }
+    os << std::left << std::setw(14)
+       << (inst.machine(r).name.empty() ? "machine-" + std::to_string(r)
+                                        : inst.machine(r).name)
+       << " |" << lane << "|\n";
+  }
+  std::ostringstream horizonLabel;
+  horizonLabel << std::fixed << std::setprecision(2) << horizon << " s";
+  os << std::left << std::setw(14) << "" << " 0" << std::right
+     << std::setw(options.width) << horizonLabel.str() << '\n';
+
+  if (options.showAccuracy) {
+    os << "tasks:";
+    for (int j = 0; j < inst.numTasks(); ++j) {
+      os << ' ' << j << "=("
+         << std::fixed << std::setprecision(3)
+         << schedule.taskAccuracy(inst, j) << ')';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace dsct

@@ -1,0 +1,22 @@
+// Text rendering of integral schedules: a per-machine ASCII Gantt chart
+// used by the CLI and example programs.
+#pragma once
+
+#include <string>
+
+#include "sched/schedule.h"
+#include "sched/types.h"
+
+namespace dsct {
+
+struct RenderOptions {
+  int width = 72;          ///< columns used for the timeline
+  bool showAccuracy = true;
+};
+
+/// One line per machine, tasks shown as [j---] blocks proportional to their
+/// duration, followed by a per-task summary.
+std::string renderGantt(const Instance& inst, const IntegralSchedule& schedule,
+                        const RenderOptions& options = {});
+
+}  // namespace dsct

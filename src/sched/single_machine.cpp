@@ -1,0 +1,82 @@
+#include "sched/single_machine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dsct {
+
+std::vector<SegmentJob> makeSegmentJobs(std::span<const Task> tasks) {
+  std::vector<SegmentJob> segments;
+  for (std::size_t j = 0; j < tasks.size(); ++j) {
+    const PiecewiseLinearAccuracy& acc = tasks[j].accuracy;
+    for (int k = 0; k < acc.numSegments(); ++k) {
+      const AccuracySegment seg = acc.segment(k);
+      segments.push_back(
+          {static_cast<int>(j), k, seg.slope, seg.flops()});
+    }
+  }
+  return segments;
+}
+
+std::vector<double> scheduleSingleMachine(std::span<const double> deadlines,
+                                          double speed,
+                                          std::vector<SegmentJob> segments) {
+  DSCT_CHECK_MSG(speed > 0.0, "machine speed must be positive");
+  const int n = static_cast<int>(deadlines.size());
+  for (int j = 0; j + 1 < n; ++j) {
+    DSCT_CHECK_MSG(deadlines[static_cast<std::size_t>(j)] <=
+                       deadlines[static_cast<std::size_t>(j + 1)] + 1e-12,
+                   "deadlines must be non-decreasing");
+  }
+  for (const SegmentJob& seg : segments) {
+    DSCT_CHECK_MSG(seg.task >= 0 && seg.task < n,
+                   "segment references unknown task " << seg.task);
+    DSCT_CHECK(seg.flops >= 0.0);
+    DSCT_CHECK(seg.slope >= 0.0);
+  }
+
+  // Non-increasing slope; ties broken by (task, position) for determinism.
+  // Within a task, concavity already orders segments by position.
+  std::sort(segments.begin(), segments.end(),
+            [](const SegmentJob& a, const SegmentJob& b) {
+              if (a.slope != b.slope) return a.slope > b.slope;
+              if (a.task != b.task) return a.task < b.task;
+              return a.position < b.position;
+            });
+
+  std::vector<double> t(static_cast<std::size_t>(n), 0.0);
+  // prefix[i] = Σ_{k<=i} t_k, kept incrementally updated.
+  std::vector<double> prefix(static_cast<std::size_t>(n), 0.0);
+
+  for (const SegmentJob& seg : segments) {
+    const int j = seg.task;
+    double contribution = seg.flops / speed;
+    // A segment may grow t_j only while every prefix constraint at and after
+    // j keeps slack (lines 6-7 of Algorithm 1, extended to include j itself).
+    for (int i = j; i < n && contribution > 0.0; ++i) {
+      contribution = std::min(
+          contribution,
+          deadlines[static_cast<std::size_t>(i)] -
+              prefix[static_cast<std::size_t>(i)]);
+    }
+    contribution = std::max(0.0, contribution);
+    if (contribution <= 0.0) continue;
+    t[static_cast<std::size_t>(j)] += contribution;
+    for (int i = j; i < n; ++i) {
+      prefix[static_cast<std::size_t>(i)] += contribution;
+    }
+  }
+  return t;
+}
+
+std::vector<double> scheduleSingleMachine(std::span<const Task> tasks,
+                                          double speed) {
+  std::vector<double> deadlines;
+  deadlines.reserve(tasks.size());
+  for (const Task& task : tasks) deadlines.push_back(task.deadline);
+  return scheduleSingleMachine(deadlines, speed, makeSegmentJobs(tasks));
+}
+
+}  // namespace dsct

@@ -1,0 +1,41 @@
+// Algorithm 1 of the paper: exact fractional scheduling on one machine with
+// piecewise-linear accuracy functions.
+//
+// Greedy water-filling over accuracy segments in non-increasing slope order:
+// each segment receives as much processing time as the prefix deadline
+// constraints of the task and all later tasks allow. O(S·n) for S segments.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sched/types.h"
+
+namespace dsct {
+
+/// One linear segment of a task's accuracy function, as consumed by the
+/// single-machine scheduler (the paper's `listSegments` entries).
+struct SegmentJob {
+  int task = 0;       ///< owning task index
+  int position = 0;   ///< segment index within the task's accuracy function
+  double slope = 0.0; ///< accuracy per TFLOP
+  double flops = 0.0; ///< TFLOP needed to fully process the segment
+};
+
+/// Flatten the accuracy functions of `tasks` into segment jobs.
+std::vector<SegmentJob> makeSegmentJobs(std::span<const Task> tasks);
+
+/// Algorithm 1. `deadlines` must be non-decreasing; returns per-task
+/// processing times t_j (seconds) on a machine of the given speed (TFLOPS),
+/// maximising total accuracy under prefix deadline constraints
+/// Σ_{i<=j} t_i <= d_j.
+std::vector<double> scheduleSingleMachine(std::span<const double> deadlines,
+                                          double speed,
+                                          std::vector<SegmentJob> segments);
+
+/// Convenience overload operating directly on an instance's tasks
+/// (single machine, ignoring energy).
+std::vector<double> scheduleSingleMachine(std::span<const Task> tasks,
+                                          double speed);
+
+}  // namespace dsct

@@ -1,0 +1,73 @@
+// Core problem types for DSCT-EA: machines, tasks, instances.
+//
+// Units: speed TFLOPS, efficiency TFLOP/J, power W, time s, energy J,
+// work TFLOP (see DESIGN.md §2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "accuracy/piecewise.h"
+
+namespace dsct {
+
+struct Machine {
+  double speed = 1.0;       ///< s_r, TFLOPS
+  double efficiency = 1.0;  ///< E_r, TFLOP/J
+  std::string name;
+
+  /// P_r = s_r / E_r, in Watts.
+  double power() const { return speed / efficiency; }
+};
+
+struct Task {
+  double deadline = 0.0;  ///< d_j, seconds
+  PiecewiseLinearAccuracy accuracy;
+  std::string name;
+
+  double fmax() const { return accuracy.fmax(); }
+  double amax() const { return accuracy.amax(); }
+  double amin() const { return accuracy.amin(); }
+};
+
+/// A DSCT-EA instance. Tasks are kept sorted by non-decreasing deadline
+/// (the paper's canonical ordering; all algorithms assume it).
+class Instance {
+ public:
+  Instance(std::vector<Task> tasks, std::vector<Machine> machines,
+           double energyBudget);
+
+  int numTasks() const { return static_cast<int>(tasks_.size()); }
+  int numMachines() const { return static_cast<int>(machines_.size()); }
+  const Task& task(int j) const { return tasks_[static_cast<std::size_t>(j)]; }
+  const Machine& machine(int r) const {
+    return machines_[static_cast<std::size_t>(r)];
+  }
+  const std::vector<Task>& tasks() const { return tasks_; }
+  const std::vector<Machine>& machines() const { return machines_; }
+  double energyBudget() const { return energyBudget_; }
+
+  /// d^max = max_j d_j (0 for empty instances).
+  double maxDeadline() const;
+  /// Σ_j f_j^max (TFLOP).
+  double totalFmax() const;
+  /// Σ_r s_r (TFLOPS).
+  double totalSpeed() const;
+  /// Σ_r P_r (W).
+  double totalPower() const;
+  /// Σ_j a_j^max — trivial upper bound on the objective.
+  double totalAmax() const;
+  /// Σ_j a_j(0) — objective when nothing is processed.
+  double totalAmin() const;
+
+  /// Machine indices sorted by non-increasing energy efficiency (ties by
+  /// index for determinism). This is the paper's machine ordering.
+  std::vector<int> machinesByEfficiencyDesc() const;
+
+ private:
+  std::vector<Task> tasks_;
+  std::vector<Machine> machines_;
+  double energyBudget_;
+};
+
+}  // namespace dsct

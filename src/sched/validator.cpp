@@ -1,0 +1,122 @@
+#include "sched/validator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace dsct {
+
+void ValidationReport::addViolation(std::string message) {
+  feasible = false;
+  violations.push_back(std::move(message));
+}
+
+std::string ValidationReport::summary() const {
+  if (feasible) return "feasible";
+  std::ostringstream os;
+  os << violations.size() << " violation(s):";
+  for (const std::string& v : violations) os << "\n  - " << v;
+  return os.str();
+}
+
+namespace {
+
+void checkCommon(const Instance& inst, const FractionalSchedule& s,
+                 const ValidationOptions& options, ValidationReport& report) {
+  const int n = inst.numTasks();
+  const int m = inst.numMachines();
+
+  // Deadlines: prefix sums per machine (constraint 1b/3c).
+  for (int r = 0; r < m; ++r) {
+    double prefix = 0.0;
+    for (int j = 0; j < n; ++j) {
+      prefix += s.at(j, r);
+      const double tol = std::max(options.timeTol,
+                                  options.relTol * inst.task(j).deadline);
+      const double excess = prefix - inst.task(j).deadline;
+      if (excess > tol) {
+        report.maxDeadlineViolation =
+            std::max(report.maxDeadlineViolation, excess);
+        std::ostringstream os;
+        os << "deadline: task " << j << " machine " << r << " prefix "
+           << prefix << " > d=" << inst.task(j).deadline;
+        report.addViolation(os.str());
+      }
+    }
+  }
+
+  // FLOP caps (constraint 1c/3d).
+  for (int j = 0; j < n; ++j) {
+    const double f = s.flops(inst, j);
+    const double fmax = inst.task(j).fmax();
+    const double tol = std::max(options.flopsTol, options.relTol * fmax);
+    if (f > fmax + tol) {
+      report.maxFlopsExcess = std::max(report.maxFlopsExcess, f - fmax);
+      std::ostringstream os;
+      os << "fmax: task " << j << " flops " << f << " > fmax=" << fmax;
+      report.addViolation(os.str());
+    }
+  }
+
+  // Energy budget (constraint 1f/3e).
+  const double energy = s.energy(inst);
+  const double budget = inst.energyBudget();
+  const double tol = std::max(options.energyTol, options.relTol * budget);
+  if (energy > budget + tol) {
+    report.energyExcess = energy - budget;
+    std::ostringstream os;
+    os << "energy: " << energy << " J > budget " << budget << " J";
+    report.addViolation(os.str());
+  }
+
+  // Non-negative times are enforced structurally by FractionalSchedule.
+}
+
+}  // namespace
+
+ValidationReport validate(const Instance& inst, const FractionalSchedule& s,
+                          const ValidationOptions& options) {
+  ValidationReport report;
+  if (s.numTasks() != inst.numTasks() ||
+      s.numMachines() != inst.numMachines()) {
+    report.addViolation("schedule shape does not match instance");
+    return report;
+  }
+  checkCommon(inst, s, options, report);
+  return report;
+}
+
+ValidationReport validate(const Instance& inst, const IntegralSchedule& s,
+                          const ValidationOptions& options) {
+  ValidationReport report;
+  if (s.numTasks() != inst.numTasks()) {
+    report.addViolation("schedule shape does not match instance");
+    return report;
+  }
+  // Integral-specific structure: timelines stack in task (deadline) order and
+  // each task finishes by its deadline.
+  for (int r = 0; r < inst.numMachines(); ++r) {
+    double clock = 0.0;
+    int previous = -1;
+    for (const ScheduledTask& e : s.timeline(r)) {
+      if (e.task <= previous) {
+        std::ostringstream os;
+        os << "order: machine " << r << " runs task " << e.task
+           << " after task " << previous;
+        report.addViolation(os.str());
+      }
+      previous = e.task;
+      if (std::fabs(e.start - clock) > options.timeTol) {
+        std::ostringstream os;
+        os << "gap: machine " << r << " task " << e.task << " starts at "
+           << e.start << ", expected " << clock;
+        report.addViolation(os.str());
+      }
+      clock = e.end();
+    }
+  }
+  checkCommon(inst, s.toFractional(inst), options, report);
+  return report;
+}
+
+}  // namespace dsct

@@ -1,0 +1,41 @@
+// Feasibility validation for DSCT-EA solutions.
+//
+// Checks the constraint system of the paper's MIP (1b)-(1f) / relaxation
+// (3c)-(3e): per-machine EDF prefix deadlines, per-task FLOP caps, and the
+// global energy budget. Used by tests and by the simulator as ground truth.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/schedule.h"
+#include "sched/types.h"
+
+namespace dsct {
+
+struct ValidationReport {
+  bool feasible = true;
+  std::vector<std::string> violations;
+  double maxDeadlineViolation = 0.0;  ///< seconds past the worst deadline
+  double energyExcess = 0.0;          ///< Joules over budget
+  double maxFlopsExcess = 0.0;        ///< TFLOP over the worst f_j^max
+
+  void addViolation(std::string message);
+  std::string summary() const;
+};
+
+struct ValidationOptions {
+  double timeTol = 1e-6;    ///< seconds
+  double energyTol = 1e-5;  ///< Joules (absolute, pre-scaled by budget below)
+  double flopsTol = 1e-6;   ///< TFLOP
+  /// Tolerances are also scaled relative to instance magnitudes:
+  /// effective tol = max(absolute, rel * scale).
+  double relTol = 1e-9;
+};
+
+ValidationReport validate(const Instance& inst, const FractionalSchedule& s,
+                          const ValidationOptions& options = {});
+ValidationReport validate(const Instance& inst, const IntegralSchedule& s,
+                          const ValidationOptions& options = {});
+
+}  // namespace dsct

@@ -1,0 +1,159 @@
+#include "sim/cluster.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.h"
+
+namespace dsct::sim {
+
+namespace {
+
+/// Pending simulator event; min-heap by (time, machine, sequence).
+struct PendingEvent {
+  double time;
+  int machine;
+  long sequence;
+  EventKind kind;
+  int task;
+  double flops;
+};
+
+struct Later {
+  bool operator()(const PendingEvent& a, const PendingEvent& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    if (a.machine != b.machine) return a.machine > b.machine;
+    return a.sequence > b.sequence;
+  }
+};
+
+}  // namespace
+
+double CommModel::transferSeconds(int task) const {
+  if (taskBytes.empty()) return 0.0;
+  DSCT_CHECK(task >= 0 && task < static_cast<int>(taskBytes.size()));
+  DSCT_CHECK(bytesPerSecond > 0.0);
+  return taskBytes[static_cast<std::size_t>(task)] / bytesPerSecond;
+}
+
+double CommModel::transferJoules(int task) const {
+  if (taskBytes.empty()) return 0.0;
+  DSCT_CHECK(task >= 0 && task < static_cast<int>(taskBytes.size()));
+  return taskBytes[static_cast<std::size_t>(task)] * joulesPerByte;
+}
+
+ExecutionResult executeSchedule(const Instance& inst,
+                                const IntegralSchedule& schedule) {
+  return executeSchedule(inst, schedule, CommModel{});
+}
+
+ExecutionResult executeSchedule(const Instance& inst,
+                                const IntegralSchedule& schedule,
+                                const CommModel& comm) {
+  DSCT_CHECK(schedule.numTasks() == inst.numTasks());
+  DSCT_CHECK(comm.taskBytes.empty() ||
+             static_cast<int>(comm.taskBytes.size()) == inst.numTasks());
+  ExecutionResult result;
+  result.executions.assign(static_cast<std::size_t>(inst.numTasks()), {});
+  result.machineBusySeconds.assign(
+      static_cast<std::size_t>(inst.numMachines()), 0.0);
+
+  // Seed per-task records (dropped tasks keep floor accuracy).
+  for (int j = 0; j < inst.numTasks(); ++j) {
+    TaskExecution& exec = result.executions[static_cast<std::size_t>(j)];
+    exec.task = j;
+    exec.accuracy = inst.task(j).accuracy.value(0.0);
+  }
+
+  std::priority_queue<PendingEvent, std::vector<PendingEvent>, Later> queue;
+  long sequence = 0;
+  std::vector<double> transferEnergyAtStart(
+      static_cast<std::size_t>(inst.numTasks()), 0.0);
+  for (int r = 0; r < inst.numMachines(); ++r) {
+    // Walk the machine's timeline re-deriving starts: each task's input
+    // transfer is serialised on the machine's ingest link before execution.
+    double clock = 0.0;
+    for (const ScheduledTask& e : schedule.timeline(r)) {
+      const double transfer = comm.transferSeconds(e.task);
+      const double execStart = clock + transfer;
+      const double execEnd = execStart + e.duration;
+      const double flops = e.duration * inst.machine(r).speed;
+      transferEnergyAtStart[static_cast<std::size_t>(e.task)] =
+          comm.transferJoules(e.task);
+      queue.push(
+          {execStart, r, sequence++, EventKind::kTaskStart, e.task, 0.0});
+      queue.push(
+          {execEnd, r, sequence++, EventKind::kTaskFinish, e.task, flops});
+      clock = execEnd;
+    }
+    queue.push({clock, r, sequence++, EventKind::kMachineIdle, -1, 0.0});
+  }
+
+  double energy = 0.0;
+  while (!queue.empty()) {
+    const PendingEvent e = queue.top();
+    queue.pop();
+    switch (e.kind) {
+      case EventKind::kTaskStart: {
+        TaskExecution& exec =
+            result.executions[static_cast<std::size_t>(e.task)];
+        exec.machine = e.machine;
+        exec.start = e.time;
+        energy += transferEnergyAtStart[static_cast<std::size_t>(e.task)];
+        result.trace.append(
+            {e.time, EventKind::kTaskStart, e.task, e.machine, 0.0, energy});
+        break;
+      }
+      case EventKind::kTaskFinish: {
+        TaskExecution& exec =
+            result.executions[static_cast<std::size_t>(e.task)];
+        exec.finish = e.time;
+        exec.flops = e.flops;
+        exec.executed = true;
+        exec.accuracy = inst.task(e.task).accuracy.value(e.flops);
+        const double busy = exec.finish - exec.start;
+        result.machineBusySeconds[static_cast<std::size_t>(e.machine)] += busy;
+        energy += busy * inst.machine(e.machine).power();
+        result.makespan = std::max(result.makespan, e.time);
+        result.trace.append({e.time, EventKind::kTaskFinish, e.task, e.machine,
+                             e.flops, energy});
+        if (e.time > inst.task(e.task).deadline + 1e-9) {
+          exec.deadlineMet = false;
+          ++result.deadlineMisses;
+          result.trace.append({e.time, EventKind::kDeadlineMiss, e.task,
+                               e.machine, e.flops, energy});
+        }
+        break;
+      }
+      case EventKind::kMachineIdle:
+        result.trace.append(
+            {e.time, EventKind::kMachineIdle, -1, e.machine, 0.0, energy});
+        break;
+      case EventKind::kDeadlineMiss:
+        break;  // never enqueued
+    }
+  }
+
+  result.totalEnergy = energy;
+  for (const TaskExecution& exec : result.executions) {
+    result.totalAccuracy += exec.accuracy;
+  }
+  return result;
+}
+
+Instance commAwareInstance(const Instance& inst, const CommModel& comm) {
+  double commEnergy = 0.0;
+  std::vector<Task> tasks;
+  tasks.reserve(static_cast<std::size_t>(inst.numTasks()));
+  for (int j = 0; j < inst.numTasks(); ++j) {
+    commEnergy += comm.transferJoules(j);
+    Task task = inst.task(j);
+    task.deadline =
+        std::max(1e-9, task.deadline - comm.transferSeconds(j));
+    tasks.push_back(std::move(task));
+  }
+  const double budget = std::max(0.0, inst.energyBudget() - commEnergy);
+  return Instance(std::move(tasks), inst.machines(), budget);
+}
+
+}  // namespace dsct::sim

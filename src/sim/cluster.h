@@ -1,0 +1,73 @@
+// Discrete-event execution of an integral schedule on a simulated cluster.
+//
+// This is the execution-level ground truth for the scheduling algorithms:
+// machines process their timelines task by task, energy is integrated from
+// per-machine power draw, and deadline violations are observed rather than
+// assumed. Tests assert that simulated energy/accuracy match the analytic
+// schedule metrics.
+#pragma once
+
+#include <vector>
+
+#include "sched/schedule.h"
+#include "sched/types.h"
+#include "sim/trace.h"
+
+namespace dsct::sim {
+
+struct TaskExecution {
+  int task = -1;
+  int machine = -1;
+  double start = 0.0;
+  double finish = 0.0;
+  double flops = 0.0;     ///< TFLOP actually executed
+  double accuracy = 0.0;  ///< a_j(flops)
+  bool executed = false;  ///< false for dropped tasks (flops == 0, a_j(0))
+  bool deadlineMet = true;
+};
+
+struct ExecutionResult {
+  Trace trace;
+  std::vector<TaskExecution> executions;  ///< indexed by task
+  std::vector<double> machineBusySeconds;
+  double totalEnergy = 0.0;  ///< J
+  double makespan = 0.0;     ///< latest finish time
+  double totalAccuracy = 0.0;
+  int deadlineMisses = 0;
+};
+
+/// Execute `schedule` on the instance's machines.
+ExecutionResult executeSchedule(const Instance& inst,
+                                const IntegralSchedule& schedule);
+
+/// Communication model (paper Section 7, future work #2): each task's input
+/// must be transferred to its machine before execution. Transfers are
+/// serialised on the target machine (they share its ingest link), consume
+/// `joulesPerByte` and delay execution by bytes/bandwidth — so a schedule
+/// that was feasible compute-wise can miss deadlines or blow the budget
+/// once communication is accounted; the simulator observes both.
+struct CommModel {
+  /// Input size per task (bytes); empty means all zero (no communication).
+  std::vector<double> taskBytes;
+  double joulesPerByte = 0.0;
+  double bytesPerSecond = 1e12;
+
+  double transferSeconds(int task) const;
+  double transferJoules(int task) const;
+};
+
+/// Execute with communication accounting. Energy includes transfer energy;
+/// starts shift by the (serialised) transfer times.
+ExecutionResult executeSchedule(const Instance& inst,
+                                const IntegralSchedule& schedule,
+                                const CommModel& comm);
+
+/// Conservative comm-aware instance transform: shrinks the budget by every
+/// task's transfer energy and each deadline by its own transfer time, so a
+/// schedule computed on the transformed instance stays feasible under
+/// communication (per-machine transfer queueing is still only visible in
+/// the simulator). Tasks whose deadline would go non-positive keep a tiny
+/// positive deadline (they will simply receive no work).
+Instance commAwareInstance(const Instance& inst, const CommModel& comm);
+
+}  // namespace dsct::sim

@@ -1,0 +1,91 @@
+#include "sim/renewable.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/check.h"
+
+namespace dsct::sim {
+
+PowerTrace::PowerTrace(std::vector<double> times, std::vector<double> watts)
+    : times_(std::move(times)), watts_(std::move(watts)) {
+  DSCT_CHECK_MSG(!times_.empty(), "empty power trace");
+  DSCT_CHECK_MSG(times_.size() == watts_.size(), "trace arity mismatch");
+  DSCT_CHECK_MSG(times_.front() == 0.0, "trace must start at t=0");
+  for (std::size_t i = 0; i + 1 < times_.size(); ++i) {
+    DSCT_CHECK_MSG(times_[i] < times_[i + 1],
+                   "trace times must be strictly increasing");
+  }
+  for (double w : watts_) {
+    DSCT_CHECK_MSG(w >= 0.0, "negative power in trace");
+  }
+}
+
+PowerTrace PowerTrace::constant(double watts) {
+  return PowerTrace({0.0}, {watts});
+}
+
+PowerTrace PowerTrace::solarDay(double peakWatts, double dayLengthSeconds,
+                                double sunriseFraction, double sunsetFraction,
+                                int samples, double noise, Rng& rng) {
+  DSCT_CHECK(peakWatts >= 0.0);
+  DSCT_CHECK(dayLengthSeconds > 0.0);
+  DSCT_CHECK(samples >= 2);
+  DSCT_CHECK(0.0 <= sunriseFraction && sunriseFraction < sunsetFraction &&
+             sunsetFraction <= 1.0);
+  DSCT_CHECK(noise >= 0.0 && noise < 1.0);
+  std::vector<double> times;
+  std::vector<double> watts;
+  times.reserve(static_cast<std::size_t>(samples));
+  watts.reserve(static_cast<std::size_t>(samples));
+  const double sunrise = sunriseFraction * dayLengthSeconds;
+  const double sunset = sunsetFraction * dayLengthSeconds;
+  for (int i = 0; i < samples; ++i) {
+    const double t = dayLengthSeconds * static_cast<double>(i) /
+                     static_cast<double>(samples);
+    times.push_back(t);
+    if (t < sunrise || t >= sunset) {
+      watts.push_back(0.0);
+      continue;
+    }
+    const double phase = (t - sunrise) / (sunset - sunrise);
+    const double clearSky = peakWatts * std::sin(std::numbers::pi * phase);
+    const double flicker =
+        noise > 0.0 ? rng.uniform(1.0 - noise, 1.0 + noise) : 1.0;
+    watts.push_back(std::max(0.0, clearSky * flicker));
+  }
+  return PowerTrace(std::move(times), std::move(watts));
+}
+
+double PowerTrace::powerAt(double t) const {
+  if (t < 0.0) return 0.0;
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const auto idx = static_cast<std::size_t>(it - times_.begin()) - 1;
+  return watts_[idx];
+}
+
+double PowerTrace::energyBetween(double t0, double t1) const {
+  DSCT_CHECK_MSG(t0 <= t1, "inverted interval");
+  t0 = std::max(0.0, t0);
+  t1 = std::max(0.0, t1);
+  if (t0 >= t1) return 0.0;
+  double energy = 0.0;
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    const double segStart = times_[i];
+    const double segEnd =
+        (i + 1 < times_.size()) ? times_[i + 1]
+                                : std::max(t1, segStart);
+    const double lo = std::max(t0, segStart);
+    const double hi = std::min(t1, segEnd);
+    if (hi > lo) energy += watts_[i] * (hi - lo);
+    if (segEnd >= t1) break;
+  }
+  return energy;
+}
+
+double PowerTrace::peakPower() const {
+  return *std::max_element(watts_.begin(), watts_.end());
+}
+
+}  // namespace dsct::sim

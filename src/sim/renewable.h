@@ -1,0 +1,46 @@
+// Renewable power supply traces (paper Section 7, future work #1).
+//
+// A PowerTrace is piecewise-constant available power over time; per-epoch
+// energy budgets for the serving driver are obtained by integrating the
+// trace. Includes a solar-day generator (half-sine between sunrise and
+// sunset with multiplicative noise) for green-datacenter scenarios.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dsct::sim {
+
+class PowerTrace {
+ public:
+  /// Piecewise-constant: power watts[i] holds on [times[i], times[i+1]),
+  /// watts.back() holds from times.back() on. times must start at 0 and be
+  /// strictly increasing; watts non-negative.
+  PowerTrace(std::vector<double> times, std::vector<double> watts);
+
+  static PowerTrace constant(double watts);
+
+  /// Half-sine solar profile over [0, dayLength]: 0 before sunrise/after
+  /// sunset, peakWatts at solar noon; `samples` steps; multiplicative noise
+  /// uniform in [1−noise, 1+noise] (cloud flicker).
+  static PowerTrace solarDay(double peakWatts, double dayLengthSeconds,
+                             double sunriseFraction, double sunsetFraction,
+                             int samples, double noise, Rng& rng);
+
+  /// Instantaneous available power (W) at time t (clamped below 0 to 0).
+  double powerAt(double t) const;
+
+  /// ∫ power dt over [t0, t1] in Joules.
+  double energyBetween(double t0, double t1) const;
+
+  std::size_t numSteps() const { return times_.size(); }
+  double peakPower() const;
+
+ private:
+  std::vector<double> times_;
+  std::vector<double> watts_;
+};
+
+}  // namespace dsct::sim

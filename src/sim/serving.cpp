@@ -1,0 +1,197 @@
+#include "sim/serving.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "accuracy/fit.h"
+#include "baselines/edf_levels.h"
+#include "baselines/edf_nocompress.h"
+#include "sched/approx.h"
+#include "sim/renewable.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dsct::sim {
+
+const char* toString(Policy policy) {
+  switch (policy) {
+    case Policy::kApprox: return "DSCT-EA-Approx";
+    case Policy::kEdfNoCompression: return "EDF-NoCompression";
+    case Policy::kEdfLevels: return "EDF-3CompressionLevels";
+  }
+  return "unknown";
+}
+
+namespace {
+
+IntegralSchedule schedule(Policy policy, const Instance& inst) {
+  switch (policy) {
+    case Policy::kApprox:
+      return solveApprox(inst).schedule;
+    case Policy::kEdfNoCompression:
+      return solveEdfNoCompression(inst).schedule;
+    case Policy::kEdfLevels:
+      return solveEdfLevels(inst).schedule;
+  }
+  DSCT_CHECK_MSG(false, "unknown policy");
+  return solveEdfNoCompression(inst).schedule;
+}
+
+/// Shared driver core; `budgetFor(epochStart, epochEnd)` supplies each
+/// epoch's energy budget.
+ServingStats runServingImpl(
+    const std::vector<Machine>& machines, Policy policy,
+    const ServingOptions& options,
+    const std::function<double(double, double)>& budgetFor) {
+  DSCT_CHECK(!machines.empty());
+  DSCT_CHECK(options.epochSeconds > 0.0);
+  DSCT_CHECK(options.arrivalRatePerSecond > 0.0);
+
+  Rng rng(options.seed);
+  // Arrival stream: caller-provided times or a Poisson process.
+  std::vector<double> arrivalTimes = options.arrivalTimes;
+  if (arrivalTimes.empty()) {
+    double t = rng.exponential(options.arrivalRatePerSecond);
+    while (t < options.horizonSeconds) {
+      arrivalTimes.push_back(t);
+      t += rng.exponential(options.arrivalRatePerSecond);
+    }
+  } else {
+    for (std::size_t i = 0; i + 1 < arrivalTimes.size(); ++i) {
+      DSCT_CHECK_MSG(arrivalTimes[i] <= arrivalTimes[i + 1],
+                     "arrivalTimes must be ascending");
+    }
+  }
+  // In-flight requests. Without backlog carry-over a request lives for one
+  // epoch; with it, a request re-enters later batches with its residual
+  // accuracy function until its deadline passes or it is fully processed.
+  struct Active {
+    double arrival;
+    double absoluteDeadline;
+    PiecewiseLinearAccuracy accuracy;  ///< the request's full curve
+    double flopsDone = 0.0;
+    double lastFinish = 0.0;  ///< absolute completion time of the last slice
+  };
+  std::vector<Active> active;
+  std::size_t next = 0;  // next unconsumed arrival
+
+  ServingStats stats;
+  double accuracySum = 0.0;
+  double latencySum = 0.0;
+  const auto finalize = [&](const Active& req) {
+    ++stats.requests;
+    accuracySum += req.accuracy.value(req.flopsDone);
+    if (req.flopsDone > 0.0) {
+      ++stats.served;
+      latencySum += req.lastFinish - req.arrival;
+    }
+  };
+
+  for (double epochStart = 0.0; epochStart < options.horizonSeconds;
+       epochStart += options.epochSeconds) {
+    const double epochEnd = epochStart + options.epochSeconds;
+    // Admit this epoch's arrivals.
+    while (next < arrivalTimes.size() && arrivalTimes[next] < epochEnd) {
+      const double arrival = arrivalTimes[next];
+      const double deadline =
+          arrival + rng.uniform(options.relDeadlineLo, options.relDeadlineHi);
+      active.push_back(Active{
+          arrival, deadline,
+          makePaperAccuracy(options.amin, options.amax,
+                            rng.uniform(options.thetaLo, options.thetaHi),
+                            options.segments),
+          0.0, 0.0});
+      ++next;
+    }
+    if (active.empty()) continue;
+    ++stats.epochs;
+
+    // Build a DSCT-EA instance with residual curves and deadlines relative
+    // to the epoch end.
+    std::vector<Task> tasks;
+    tasks.reserve(active.size());
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      const Active& req = active[i];
+      const double rel = std::max(1e-3, req.absoluteDeadline - epochEnd);
+      PiecewiseLinearAccuracy curve =
+          req.flopsDone > 0.0 ? req.accuracy.suffix(req.flopsDone)
+                              : req.accuracy;
+      tasks.push_back(Task{rel, std::move(curve), "req-" + std::to_string(i)});
+    }
+    // Instance sorts by deadline; remember the active slot per sorted task.
+    std::vector<std::size_t> order(active.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return tasks[a].deadline < tasks[b].deadline;
+                     });
+
+    Instance inst(tasks, machines,
+                  std::max(0.0, budgetFor(epochStart, epochEnd)));
+    const IntegralSchedule sched = schedule(policy, inst);
+    const ExecutionResult exec = executeSchedule(inst, sched);
+
+    stats.totalEnergy += exec.totalEnergy;
+    for (int j = 0; j < inst.numTasks(); ++j) {
+      const TaskExecution& te = exec.executions[static_cast<std::size_t>(j)];
+      Active& req = active[order[static_cast<std::size_t>(j)]];
+      if (te.executed && te.flops > 0.0) {
+        req.flopsDone += te.flops;
+        req.lastFinish = epochEnd + te.finish;
+      }
+      if (!te.deadlineMet) ++stats.deadlineMisses;
+    }
+
+    // Retire requests; with carry-over, keep those that still have usable
+    // time next epoch and remaining accuracy headroom.
+    std::vector<Active> carried;
+    for (Active& req : active) {
+      const bool complete =
+          req.flopsDone >= req.accuracy.fmax() - 1e-9;
+      const bool hasTimeNextEpoch =
+          req.absoluteDeadline > epochEnd + options.epochSeconds;
+      if (options.carryBacklog && !complete && hasTimeNextEpoch &&
+          epochEnd + options.epochSeconds < options.horizonSeconds) {
+        carried.push_back(std::move(req));
+      } else {
+        finalize(req);
+      }
+    }
+    active = std::move(carried);
+  }
+  // Horizon over: retire whatever is still in flight. Arrivals at or past
+  // the horizon (possible with caller-provided times) are outside the
+  // simulation and not counted.
+  for (const Active& req : active) finalize(req);
+
+  if (stats.requests > 0) {
+    stats.meanAccuracy = accuracySum / static_cast<double>(stats.requests);
+  }
+  if (stats.served > 0) {
+    stats.meanLatency = latencySum / static_cast<double>(stats.served);
+  }
+  return stats;
+}
+
+}  // namespace
+
+ServingStats runServing(const std::vector<Machine>& machines, Policy policy,
+                        const ServingOptions& options) {
+  return runServingImpl(machines, policy, options, [&options](double, double) {
+    return options.energyBudgetPerEpoch;
+  });
+}
+
+ServingStats runServing(const std::vector<Machine>& machines, Policy policy,
+                        const ServingOptions& options,
+                        const PowerTrace& supply) {
+  return runServingImpl(machines, policy, options,
+                        [&supply](double epochStart, double epochEnd) {
+                          return supply.energyBetween(epochStart, epochEnd);
+                        });
+}
+
+}  // namespace dsct::sim

@@ -1,0 +1,77 @@
+// Online MLaaS serving driver.
+//
+// Simulates an inference service: requests arrive as a Poisson process, each
+// with a task efficiency θ and a relative deadline; every `epoch` seconds
+// the pending batch is scheduled by a pluggable policy under a per-epoch
+// energy budget and executed on the simulated cluster. This is the
+// "cloud inference service" substrate motivating the paper's problem.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/types.h"
+#include "sim/cluster.h"
+
+namespace dsct::sim {
+
+enum class Policy {
+  kApprox,            ///< DSCT-EA-APPROX (the paper's algorithm)
+  kEdfNoCompression,  ///< EDF, full models only
+  kEdfLevels,         ///< EDF with 3 discrete compression levels
+};
+
+const char* toString(Policy policy);
+
+struct ServingOptions {
+  double arrivalRatePerSecond = 20.0;
+  /// Explicit arrival times (seconds, ascending, < horizon); when non-empty
+  /// they replace the internally generated Poisson stream — use with
+  /// ArrivalProcess::diurnal for day/night load shapes.
+  std::vector<double> arrivalTimes;
+  double horizonSeconds = 10.0;
+  double epochSeconds = 1.0;
+  /// Relative deadline drawn uniformly from this range (seconds).
+  double relDeadlineLo = 0.5;
+  double relDeadlineHi = 2.0;
+  /// Energy budget granted per scheduling epoch (J).
+  double energyBudgetPerEpoch = 100.0;
+  double thetaLo = 0.1;
+  double thetaHi = 4.9;
+  double amin = 1e-3;
+  double amax = 0.82;
+  int segments = 5;
+  /// Carry partially processed requests into later epochs: a request whose
+  /// deadline extends beyond the epoch re-enters the next batch with its
+  /// *residual* accuracy function (PiecewiseLinearAccuracy::suffix), so the
+  /// FLOPs invested earlier are not wasted. Off by default (the paper's
+  /// one-shot batching).
+  bool carryBacklog = false;
+  std::uint64_t seed = 1;
+};
+
+struct ServingStats {
+  int requests = 0;
+  int served = 0;            ///< requests that executed with > 0 FLOPs
+  int deadlineMisses = 0;
+  double meanAccuracy = 0.0; ///< over all requests (dropped count a_min)
+  double totalEnergy = 0.0;  ///< J over the whole run
+  double meanLatency = 0.0;  ///< completion − arrival, over served requests
+  int epochs = 0;
+};
+
+ServingStats runServing(const std::vector<Machine>& machines, Policy policy,
+                        const ServingOptions& options);
+
+class PowerTrace;
+
+/// Renewable-powered serving (paper Section 7, future work): each epoch's
+/// energy budget is the energy the power trace supplies during that epoch
+/// (options.energyBudgetPerEpoch is ignored). Unused energy is not stored —
+/// a batteryless deployment; adding storage is a one-line change in the
+/// budget accounting and deliberately left to the caller.
+ServingStats runServing(const std::vector<Machine>& machines, Policy policy,
+                        const ServingOptions& options,
+                        const PowerTrace& supply);
+
+}  // namespace dsct::sim

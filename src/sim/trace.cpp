@@ -1,0 +1,54 @@
+#include "sim/trace.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace dsct::sim {
+
+const char* toString(EventKind kind) {
+  switch (kind) {
+    case EventKind::kTaskStart: return "start";
+    case EventKind::kTaskFinish: return "finish";
+    case EventKind::kDeadlineMiss: return "deadline_miss";
+    case EventKind::kMachineIdle: return "idle";
+  }
+  return "unknown";
+}
+
+void Trace::append(TraceEvent event) {
+  DSCT_CHECK_MSG(events_.empty() || event.time >= events_.back().time - 1e-9,
+                 "trace events must be time-ordered");
+  events_.push_back(event);
+}
+
+std::vector<TraceEvent> Trace::eventsOfKind(EventKind kind) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> Trace::eventsOfMachine(int machine) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_) {
+    if (e.machine == machine) out.push_back(e);
+  }
+  return out;
+}
+
+std::string Trace::toString() const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(6);
+  for (const TraceEvent& e : events_) {
+    os << '[' << e.time << "] " << dsct::sim::toString(e.kind)
+       << " task=" << e.task
+       << " machine=" << e.machine << " flops=" << e.flops
+       << " energy=" << e.energy << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace dsct::sim

@@ -1,0 +1,47 @@
+// Execution traces produced by the cluster simulator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dsct::sim {
+
+enum class EventKind {
+  kTaskStart,
+  kTaskFinish,
+  kDeadlineMiss,
+  kMachineIdle,  ///< machine has drained its queue
+};
+
+const char* toString(EventKind kind);
+
+struct TraceEvent {
+  double time = 0.0;
+  EventKind kind = EventKind::kTaskStart;
+  int task = -1;
+  int machine = -1;
+  double flops = 0.0;   ///< TFLOP completed so far for this task
+  double energy = 0.0;  ///< cluster energy consumed so far (J)
+};
+
+/// Time-ordered event log.
+class Trace {
+ public:
+  /// Events must be appended in non-decreasing time order.
+  void append(TraceEvent event);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  std::vector<TraceEvent> eventsOfKind(EventKind kind) const;
+  std::vector<TraceEvent> eventsOfMachine(int machine) const;
+
+  /// Human-readable rendering (one line per event).
+  std::string toString() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace dsct::sim

@@ -1,0 +1,239 @@
+#include "solver/mip.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace dsct::lp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Node {
+  std::vector<double> lower;
+  std::vector<double> upper;
+  double parentBound;  ///< LP bound inherited from the parent (model direction)
+  int depth;
+};
+
+/// Index of the most fractional integer variable, or -1 if x is integral.
+int mostFractional(const Model& model, const std::vector<double>& x,
+                   double tol) {
+  int best = -1;
+  double bestDist = tol;
+  for (int j = 0; j < model.numVariables(); ++j) {
+    if (model.variable(j).type == VarType::kContinuous) continue;
+    const double v = x[static_cast<std::size_t>(j)];
+    const double frac = v - std::floor(v);
+    const double dist = std::min(frac, 1.0 - frac);
+    if (dist > bestDist) {
+      // Most fractional = fractional part closest to 0.5, i.e. max distance
+      // from the nearest integer.
+      best = j;
+      bestDist = dist;
+    }
+  }
+  return best;
+}
+
+bool isIntegral(const Model& model, const std::vector<double>& x, double tol) {
+  return mostFractional(model, x, tol) < 0;
+}
+
+/// Rounding dive: starting from the given bounds, repeatedly fix the most
+/// fractional integer variable to its nearest integer and re-solve the LP.
+/// Returns an integral feasible point, or nullopt when a fixing renders the
+/// LP infeasible. At most (#integer variables) LP solves.
+std::optional<std::vector<double>> dive(const Model& model,
+                                        std::vector<double> lower,
+                                        std::vector<double> upper,
+                                        const MipOptions& options,
+                                        const TimeLimit& deadline) {
+  LpOptions lpOptions = options.lp;
+  for (int guard = 0; guard <= model.numIntegerVariables(); ++guard) {
+    if (deadline.expired()) return std::nullopt;
+    if (options.timeLimitSeconds > 0.0) {
+      lpOptions.timeLimitSeconds = std::max(0.01, deadline.remaining());
+    }
+    const LpResult lp = solveLpWithBounds(model, lower, upper, lpOptions);
+    if (lp.status != SolveStatus::kOptimal) return std::nullopt;
+    const int var = mostFractional(model, lp.x, options.integralityTol);
+    if (var < 0) return lp.x;
+    const double value =
+        std::round(lp.x[static_cast<std::size_t>(var)]);
+    lower[static_cast<std::size_t>(var)] = value;
+    upper[static_cast<std::size_t>(var)] = value;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+double MipResult::gap() const {
+  if (!hasSolution) return kInf;
+  return std::fabs(bestBound - objective) / std::max(1.0, std::fabs(objective));
+}
+
+MipResult solveMip(const Model& model, const MipOptions& options) {
+  Stopwatch watch;
+  const TimeLimit deadline(options.timeLimitSeconds);
+  const bool maximize = model.maximize();
+  // better(a, b): a strictly improves on b in the model direction.
+  const auto better = [maximize](double a, double b) {
+    return maximize ? a > b : a < b;
+  };
+  const double worstValue = maximize ? -kInf : kInf;
+
+  MipResult result;
+  result.bestBound = maximize ? kInf : -kInf;
+
+  // Seed the incumbent from the caller's starting point when valid.
+  if (options.initialSolution) {
+    const auto& x0 = *options.initialSolution;
+    DSCT_CHECK_MSG(static_cast<int>(x0.size()) == model.numVariables(),
+                   "initialSolution arity mismatch");
+    if (model.isFeasible(x0, 1e-6) &&
+        isIntegral(model, x0, options.integralityTol)) {
+      result.hasSolution = true;
+      result.objective = model.objectiveValue(x0);
+      result.x = x0;
+    }
+  }
+  double incumbent = result.hasSolution ? result.objective : worstValue;
+
+  std::vector<Node> stack;
+  {
+    Node root;
+    root.lower.resize(static_cast<std::size_t>(model.numVariables()));
+    root.upper.resize(static_cast<std::size_t>(model.numVariables()));
+    for (int j = 0; j < model.numVariables(); ++j) {
+      root.lower[static_cast<std::size_t>(j)] = model.variable(j).lower;
+      root.upper[static_cast<std::size_t>(j)] = model.variable(j).upper;
+    }
+    root.parentBound = maximize ? kInf : -kInf;
+    root.depth = 0;
+    stack.push_back(std::move(root));
+  }
+
+  // Optional root dive to seed an incumbent.
+  if (options.rootDive && !result.hasSolution) {
+    const auto dived =
+        dive(model, stack.back().lower, stack.back().upper, options, deadline);
+    if (dived && model.isFeasible(*dived, 1e-6)) {
+      result.hasSolution = true;
+      result.objective = model.objectiveValue(*dived);
+      result.x = *dived;
+      incumbent = result.objective;
+    }
+  }
+
+  bool sawUnbounded = false;
+  bool stopped = false;  // time / node limit hit
+
+  LpOptions lpOptions = options.lp;
+
+  while (!stack.empty()) {
+    if (deadline.expired()) {
+      stopped = true;
+      result.timedOut = true;
+      break;
+    }
+    if (options.maxNodes > 0 && result.nodes >= options.maxNodes) {
+      stopped = true;
+      break;
+    }
+    Node node = std::move(stack.back());
+    stack.pop_back();
+    ++result.nodes;
+
+    // Bound pruning on the inherited parent bound.
+    if (result.hasSolution &&
+        !better(node.parentBound, incumbent + (maximize ? options.absGapTol
+                                                        : -options.absGapTol))) {
+      continue;
+    }
+    if (options.timeLimitSeconds > 0.0) {
+      lpOptions.timeLimitSeconds = std::max(0.01, deadline.remaining());
+    }
+    const LpResult lp =
+        solveLpWithBounds(model, node.lower, node.upper, lpOptions);
+    if (lp.status == SolveStatus::kInfeasible) continue;
+    if (lp.status == SolveStatus::kUnbounded) {
+      sawUnbounded = true;
+      break;
+    }
+    if (lp.status == SolveStatus::kTimeLimit ||
+        lp.status == SolveStatus::kIterationLimit) {
+      stopped = true;
+      result.timedOut = (lp.status == SolveStatus::kTimeLimit);
+      // The node is unresolved; its parent bound stays open.
+      stack.push_back(std::move(node));
+      break;
+    }
+    const double bound = lp.objective;
+    if (result.hasSolution && !better(bound, incumbent)) continue;
+
+    const int branchVar = mostFractional(model, lp.x, options.integralityTol);
+    if (branchVar < 0) {
+      // Integral LP optimum: new incumbent.
+      if (!result.hasSolution || better(bound, incumbent)) {
+        result.hasSolution = true;
+        result.objective = bound;
+        result.x = lp.x;
+        incumbent = bound;
+      }
+      continue;
+    }
+
+    const double v = lp.x[static_cast<std::size_t>(branchVar)];
+    const double floorV = std::floor(v);
+    Node down = node;
+    down.upper[static_cast<std::size_t>(branchVar)] =
+        std::min(down.upper[static_cast<std::size_t>(branchVar)], floorV);
+    down.parentBound = bound;
+    down.depth = node.depth + 1;
+    Node up = std::move(node);
+    up.lower[static_cast<std::size_t>(branchVar)] =
+        std::max(up.lower[static_cast<std::size_t>(branchVar)], floorV + 1.0);
+    up.parentBound = bound;
+    up.depth = down.depth;
+    // Explore the branch nearest the LP value first (last pushed).
+    if (v - floorV >= 0.5) {
+      stack.push_back(std::move(down));
+      stack.push_back(std::move(up));
+    } else {
+      stack.push_back(std::move(up));
+      stack.push_back(std::move(down));
+    }
+  }
+
+  result.solveSeconds = watch.elapsedSeconds();
+  if (sawUnbounded) {
+    result.status = SolveStatus::kUnbounded;
+    return result;
+  }
+  if (!stopped) {
+    // Search exhausted: the incumbent (if any) is proven optimal.
+    result.status =
+        result.hasSolution ? SolveStatus::kOptimal : SolveStatus::kInfeasible;
+    result.bestBound = result.hasSolution ? result.objective
+                                          : (maximize ? -kInf : kInf);
+    return result;
+  }
+  // Stopped early: the proven bound is the best over open nodes (and the
+  // incumbent itself).
+  double openBound = result.hasSolution ? incumbent : worstValue;
+  for (const Node& n : stack) {
+    if (better(n.parentBound, openBound)) openBound = n.parentBound;
+  }
+  result.bestBound = openBound;
+  result.status = result.timedOut ? SolveStatus::kTimeLimit
+                                  : SolveStatus::kIterationLimit;
+  return result;
+}
+
+}  // namespace dsct::lp

@@ -1,0 +1,76 @@
+// Linear / mixed-integer model container.
+//
+// This is the substrate that stands in for the commercial solver (MOSEK)
+// used in the paper: a plain data model consumed by the simplex (simplex.h)
+// and branch-and-bound (mip.h) engines.
+#pragma once
+
+#include <limits>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dsct::lp {
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+enum class Sense { kLe, kGe, kEq };
+
+enum class VarType { kContinuous, kBinary, kInteger };
+
+struct Variable {
+  double lower = 0.0;
+  double upper = kInfinity;
+  double objective = 0.0;
+  VarType type = VarType::kContinuous;
+  std::string name;
+};
+
+struct Constraint {
+  /// Sparse row: (variable index, coefficient) pairs; indices unique.
+  std::vector<std::pair<int, double>> coeffs;
+  Sense sense = Sense::kLe;
+  double rhs = 0.0;
+  std::string name;
+};
+
+class Model {
+ public:
+  /// Objective direction; default is minimisation.
+  void setMaximize(bool maximize) { maximize_ = maximize; }
+  bool maximize() const { return maximize_; }
+
+  int addVariable(double lower, double upper, double objective,
+                  VarType type = VarType::kContinuous, std::string name = {});
+  int addBinary(double objective, std::string name = {});
+
+  /// Adds a row; coefficient variable indices must already exist.
+  int addConstraint(std::vector<std::pair<int, double>> coeffs, Sense sense,
+                    double rhs, std::string name = {});
+
+  int numVariables() const { return static_cast<int>(variables_.size()); }
+  int numConstraints() const { return static_cast<int>(constraints_.size()); }
+  int numIntegerVariables() const;
+
+  const Variable& variable(int j) const;
+  const Constraint& constraint(int i) const;
+  const std::vector<Variable>& variables() const { return variables_; }
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+
+  /// Objective value c^T x (direction-independent raw value).
+  double objectiveValue(std::span<const double> x) const;
+
+  /// True when x satisfies all rows and bounds within tolerance.
+  bool isFeasible(std::span<const double> x, double tol = 1e-6) const;
+
+  /// Max constraint/bound violation of x (0 when feasible).
+  double maxViolation(std::span<const double> x) const;
+
+ private:
+  bool maximize_ = false;
+  std::vector<Variable> variables_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace dsct::lp

@@ -1,0 +1,212 @@
+#include "solver/presolve.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "solver/simplex.h"
+#include "util/check.h"
+
+namespace dsct::lp {
+
+namespace {
+
+constexpr double kTol = 1e-9;
+
+/// Minimum and maximum possible activity of a row under the given bounds;
+/// infinities propagate.
+struct Activity {
+  double min = 0.0;
+  double max = 0.0;
+};
+
+Activity rowActivity(const Constraint& row, const std::vector<double>& lower,
+                     const std::vector<double>& upper) {
+  Activity a;
+  for (const auto& [var, coeff] : row.coeffs) {
+    const double lo = lower[static_cast<std::size_t>(var)];
+    const double hi = upper[static_cast<std::size_t>(var)];
+    if (coeff >= 0.0) {
+      a.min += coeff * lo;
+      a.max += coeff * hi;
+    } else {
+      a.min += coeff * hi;
+      a.max += coeff * lo;
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+PresolveResult presolve(const Model& model) {
+  PresolveResult out;
+  const int nvars = model.numVariables();
+  out.lower.resize(static_cast<std::size_t>(nvars));
+  out.upper.resize(static_cast<std::size_t>(nvars));
+  for (int j = 0; j < nvars; ++j) {
+    out.lower[static_cast<std::size_t>(j)] = model.variable(j).lower;
+    out.upper[static_cast<std::size_t>(j)] = model.variable(j).upper;
+  }
+  out.reducedRowOf.assign(static_cast<std::size_t>(model.numConstraints()),
+                          -1);
+
+  // Pass 1: singleton rows become bounds; iterate to a fixed point because
+  // a new bound can turn other rows redundant.
+  std::vector<char> eliminated(
+      static_cast<std::size_t>(model.numConstraints()), 0);
+  bool changed = true;
+  int sweeps = 0;
+  while (changed && sweeps++ < 8) {
+    changed = false;
+    for (int i = 0; i < model.numConstraints(); ++i) {
+      if (eliminated[static_cast<std::size_t>(i)]) continue;
+      const Constraint& row = model.constraint(i);
+      // Count structural (non-zero coefficient) entries.
+      int nz = 0;
+      int var = -1;
+      double coeff = 0.0;
+      for (const auto& [v, c] : row.coeffs) {
+        if (c != 0.0) {
+          ++nz;
+          var = v;
+          coeff = c;
+        }
+      }
+      if (nz == 0) {
+        const bool ok =
+            (row.sense == Sense::kLe && row.rhs >= -kTol) ||
+            (row.sense == Sense::kGe && row.rhs <= kTol) ||
+            (row.sense == Sense::kEq && std::fabs(row.rhs) <= kTol);
+        if (!ok) {
+          out.infeasible = true;
+          return out;
+        }
+        eliminated[static_cast<std::size_t>(i)] = 1;
+        ++out.rowsEliminated;
+        changed = true;
+        continue;
+      }
+      if (nz == 1) {
+        // a·x {<=,>=,==} b  →  bound on x.
+        double& lo = out.lower[static_cast<std::size_t>(var)];
+        double& hi = out.upper[static_cast<std::size_t>(var)];
+        const double bound = row.rhs / coeff;
+        const bool upperBound = (row.sense == Sense::kLe) == (coeff > 0.0);
+        if (row.sense == Sense::kEq) {
+          if (bound < lo - kTol || bound > hi + kTol) {
+            out.infeasible = true;
+            return out;
+          }
+          if (lo != bound || hi != bound) ++out.boundsTightened;
+          lo = hi = std::clamp(bound, lo, hi);
+        } else if (upperBound) {
+          if (bound < hi - kTol) {
+            hi = bound;
+            ++out.boundsTightened;
+          }
+        } else {
+          if (bound > lo + kTol) {
+            lo = bound;
+            ++out.boundsTightened;
+          }
+        }
+        if (lo > hi + kTol) {
+          out.infeasible = true;
+          return out;
+        }
+        eliminated[static_cast<std::size_t>(i)] = 1;
+        ++out.rowsEliminated;
+        changed = true;
+        continue;
+      }
+      // Redundancy / forcing via activity bounds.
+      const Activity a = rowActivity(row, out.lower, out.upper);
+      if (row.sense == Sense::kLe) {
+        if (a.max <= row.rhs + kTol) {
+          eliminated[static_cast<std::size_t>(i)] = 1;  // redundant
+          ++out.rowsEliminated;
+          changed = true;
+        } else if (a.min > row.rhs + kTol) {
+          out.infeasible = true;
+          return out;
+        } else if (std::isfinite(a.min) &&
+                   std::fabs(a.min - row.rhs) <= kTol) {
+          // Forcing: every variable pinned at the bound achieving a.min.
+          for (const auto& [v, c] : row.coeffs) {
+            if (c == 0.0) continue;
+            double& lo = out.lower[static_cast<std::size_t>(v)];
+            double& hi = out.upper[static_cast<std::size_t>(v)];
+            if (c > 0.0 && hi != lo) {
+              hi = lo;
+              ++out.boundsTightened;
+            } else if (c < 0.0 && lo != hi) {
+              lo = hi;
+              ++out.boundsTightened;
+            }
+          }
+          eliminated[static_cast<std::size_t>(i)] = 1;
+          ++out.rowsEliminated;
+          changed = true;
+        }
+      } else if (row.sense == Sense::kGe) {
+        if (a.min >= row.rhs - kTol) {
+          eliminated[static_cast<std::size_t>(i)] = 1;
+          ++out.rowsEliminated;
+          changed = true;
+        } else if (a.max < row.rhs - kTol) {
+          out.infeasible = true;
+          return out;
+        }
+      } else {  // kEq
+        if (a.min > row.rhs + kTol || a.max < row.rhs - kTol) {
+          out.infeasible = true;
+          return out;
+        }
+      }
+    }
+  }
+
+  // Build the reduced model: tightened bounds, surviving rows.
+  out.reduced.setMaximize(model.maximize());
+  for (int j = 0; j < nvars; ++j) {
+    const Variable& v = model.variable(j);
+    out.reduced.addVariable(out.lower[static_cast<std::size_t>(j)],
+                            out.upper[static_cast<std::size_t>(j)],
+                            v.objective, v.type, v.name);
+  }
+  for (int i = 0; i < model.numConstraints(); ++i) {
+    if (eliminated[static_cast<std::size_t>(i)]) continue;
+    const Constraint& row = model.constraint(i);
+    out.reducedRowOf[static_cast<std::size_t>(i)] =
+        out.reduced.addConstraint(row.coeffs, row.sense, row.rhs, row.name);
+  }
+  return out;
+}
+
+LpResult presolveAndSolve(const Model& model, const LpOptions& options) {
+  const PresolveResult pre = presolve(model);
+  if (pre.infeasible) {
+    LpResult result;
+    result.status = SolveStatus::kInfeasible;
+    return result;
+  }
+  LpResult result = solveLp(pre.reduced, options);
+  if (result.status == SolveStatus::kOptimal) {
+    // Map duals back to the original rows (eliminated rows price at 0 —
+    // they were redundant or absorbed into bounds).
+    std::vector<double> duals(
+        static_cast<std::size_t>(model.numConstraints()), 0.0);
+    for (int i = 0; i < model.numConstraints(); ++i) {
+      const int reducedRow = pre.reducedRowOf[static_cast<std::size_t>(i)];
+      if (reducedRow >= 0) {
+        duals[static_cast<std::size_t>(i)] =
+            result.duals[static_cast<std::size_t>(reducedRow)];
+      }
+    }
+    result.duals = std::move(duals);
+    // Objective and x are already in the original variable space.
+  }
+  return result;
+}
+
+}  // namespace dsct::lp

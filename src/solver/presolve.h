@@ -1,0 +1,44 @@
+// LP/MIP presolve: cheap model reductions applied before the simplex.
+//
+// Implemented reductions (each preserves the optimal objective):
+//  * singleton rows  — a row with one variable becomes a bound;
+//  * empty rows      — dropped after a consistency check;
+//  * forcing rows    — a ≤ row whose minimum activity equals the rhs fixes
+//                      every participating variable at its relevant bound;
+//  * redundant rows  — a row whose maximum activity cannot exceed the rhs
+//                      is dropped.
+// Bounds are tightened in place; row reductions produce a smaller model
+// plus the mapping needed to restore a full solution vector.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "solver/model.h"
+#include "solver/simplex.h"
+
+namespace dsct::lp {
+
+struct PresolveResult {
+  Model reduced;
+  /// reducedRowOf[i] = row index in `reduced` for original row i, or -1 if
+  /// the row was eliminated.
+  std::vector<int> reducedRowOf;
+  /// Tightened variable bounds (same variable order as the original).
+  std::vector<double> lower;
+  std::vector<double> upper;
+  bool infeasible = false;
+  int rowsEliminated = 0;
+  int boundsTightened = 0;
+
+  /// Solution vectors transfer directly: variables are never eliminated,
+  /// only their bounds tightened, so x in the reduced model is x in the
+  /// original.
+};
+
+PresolveResult presolve(const Model& model);
+
+/// Convenience: presolve, solve, and report in terms of the original model.
+LpResult presolveAndSolve(const Model& model, const LpOptions& options = {});
+
+}  // namespace dsct::lp

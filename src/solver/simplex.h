@@ -1,0 +1,59 @@
+// Dense two-phase primal simplex.
+//
+// Handles arbitrary variable bounds (finite/infinite/free/fixed) by
+// substitution into a non-negative "tilde" space, all row senses via
+// slack/surplus + artificial variables, and anti-cycling by switching from
+// Dantzig pricing to Bland's rule after a pivot-count threshold.
+//
+// This is deliberately a tableau method: dense, simple, verifiable. It is the
+// stand-in for the paper's commercial LP/MIP solver; its role in the
+// reproduction is correctness at small-to-medium sizes plus honest time-limit
+// behaviour at large sizes (Fig. 4, Table 1).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "solver/model.h"
+
+namespace dsct::lp {
+
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  kTimeLimit,
+};
+
+const char* toString(SolveStatus status);
+
+struct LpOptions {
+  double timeLimitSeconds = -1.0;  ///< <= 0 means unlimited
+  long maxIterations = -1;         ///< <= 0 means automatic (scales with size)
+  double tol = 1e-9;               ///< reduced-cost / ratio tolerance
+};
+
+struct LpResult {
+  SolveStatus status = SolveStatus::kInfeasible;
+  double objective = 0.0;      ///< c^T x in the model's direction
+  std::vector<double> x;       ///< primal values (model variable order)
+  /// Shadow prices, one per model constraint: d(objective)/d(rhs_i) in the
+  /// model's direction (maximisation: marginal objective gain of relaxing
+  /// the row). Zero for non-binding rows (complementary slackness). Only
+  /// populated on kOptimal.
+  std::vector<double> duals;
+  long iterations = 0;
+  double solveSeconds = 0.0;
+};
+
+/// Solve the LP relaxation of `model` (integrality is ignored).
+LpResult solveLp(const Model& model, const LpOptions& options = {});
+
+/// Same, with per-variable bound overrides (used by branch-and-bound to fix
+/// or tighten variables without copying the model).
+LpResult solveLpWithBounds(const Model& model, std::span<const double> lower,
+                           std::span<const double> upper,
+                           const LpOptions& options = {});
+
+}  // namespace dsct::lp

@@ -1,0 +1,53 @@
+// Lightweight precondition / invariant checking.
+//
+// DSCT_CHECK is always on (library boundary contracts, cheap predicates).
+// DSCT_DCHECK compiles out in NDEBUG builds (hot inner-loop invariants).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dsct {
+
+/// Thrown when a DSCT_CHECK fails. Deriving from std::logic_error keeps the
+/// failure catchable in tests while signalling a programming/contract error.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void checkFailed(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace dsct
+
+#define DSCT_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::dsct::detail::checkFailed(#expr, __FILE__, __LINE__, "");     \
+  } while (0)
+
+#define DSCT_CHECK_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream os_;                                         \
+      os_ << msg;                                                     \
+      ::dsct::detail::checkFailed(#expr, __FILE__, __LINE__, os_.str()); \
+    }                                                                 \
+  } while (0)
+
+#ifdef NDEBUG
+#define DSCT_DCHECK(expr) \
+  do {                    \
+  } while (0)
+#else
+#define DSCT_DCHECK(expr) DSCT_CHECK(expr)
+#endif

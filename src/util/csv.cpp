@@ -1,0 +1,53 @@
+#include "util/csv.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace dsct {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : path_(path), out_(path), arity_(header.size()) {
+  DSCT_CHECK(arity_ > 0);
+  writeCells(header);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needsQuote =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needsQuote) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::writeCells(const std::vector<std::string>& cells) {
+  DSCT_CHECK_MSG(cells.size() == arity_, "CSV arity mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::addRow(const std::vector<std::string>& cells) {
+  writeCells(cells);
+}
+
+void CsvWriter::addRow(const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double x : cells) {
+    std::ostringstream os;
+    os.precision(12);
+    os << x;
+    text.push_back(os.str());
+  }
+  writeCells(text);
+}
+
+}  // namespace dsct

@@ -1,0 +1,33 @@
+// Minimal CSV writer for experiment output (no external dependencies).
+// Values containing separators/quotes/newlines are quoted per RFC 4180.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace dsct {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  void addRow(const std::vector<std::string>& cells);
+  void addRow(const std::vector<double>& cells);
+
+  bool ok() const { return static_cast<bool>(out_); }
+  const std::string& path() const { return path_; }
+
+  /// Quote a single cell if needed (exposed for testing).
+  static std::string escape(const std::string& cell);
+
+ private:
+  void writeCells(const std::vector<std::string>& cells);
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t arity_;
+};
+
+}  // namespace dsct

@@ -1,0 +1,45 @@
+// Streaming summary statistics (Welford) and simple sample helpers.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace dsct {
+
+/// Online mean/variance/min/max accumulator (Welford's algorithm; numerically
+/// stable for long streams).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const;
+  /// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean; 0 for n < 2.
+  double stderrMean() const;
+  double min() const;
+  double max() const;
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Build stats over a sample in one call.
+RunningStats summarize(std::span<const double> xs);
+
+/// p-th percentile (p in [0,100]) by linear interpolation on the sorted
+/// sample. Copies the input; fine for experiment-sized vectors.
+double percentile(std::span<const double> xs, double p);
+
+}  // namespace dsct

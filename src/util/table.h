@@ -1,0 +1,35 @@
+// Fixed-width console table printer used by benchmark harnesses to print
+// paper-style rows (Table 1, figure data series).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dsct {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void addRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  void addRow(const std::vector<double>& row, int precision = 3);
+
+  std::size_t rowCount() const { return rows_.size(); }
+
+  /// Render with column alignment and a rule under the header.
+  void print(std::ostream& os) const;
+  std::string toString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper for mixed-type rows).
+std::string formatFixed(double x, int precision = 3);
+
+}  // namespace dsct

@@ -1,0 +1,75 @@
+// Fixed-size thread pool used to parallelise experiment replications.
+//
+// Design notes (Core Guidelines CP.*): tasks are plain std::function<void()>
+// values moved into a mutex-protected queue; no shared mutable state escapes
+// to callers, and parallelMap derives independent outputs per index so callers
+// never need their own synchronisation.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dsct {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t threadCount() const { return workers_.size(); }
+
+  /// Enqueue a task; returns a future for its result.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      DSCT_CHECK_MSG(!stopping_, "submit on stopped ThreadPool");
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Apply fn(i) for i in [0, n) in parallel; returns results in index order.
+  /// fn must be callable concurrently from multiple threads.
+  template <typename Fn>
+  auto parallelMap(std::size_t n, Fn fn)
+      -> std::vector<std::invoke_result_t<Fn, std::size_t>> {
+    using R = std::invoke_result_t<Fn, std::size_t>;
+    std::vector<std::future<R>> futures;
+    futures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      futures.push_back(submit([fn, i] { return fn(i); }));
+    }
+    std::vector<R> out;
+    out.reserve(n);
+    for (auto& f : futures) out.push_back(f.get());
+    return out;
+  }
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace dsct

@@ -1,0 +1,42 @@
+// Wall-clock stopwatch for timing experiments (Fig. 4, Table 1).
+#pragma once
+
+#include <chrono>
+
+namespace dsct {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Deadline helper for solver time limits. A non-positive limit means "no
+/// limit".
+class TimeLimit {
+ public:
+  explicit TimeLimit(double seconds) : seconds_(seconds) {}
+
+  bool expired() const {
+    return seconds_ > 0.0 && watch_.elapsedSeconds() >= seconds_;
+  }
+  double remaining() const {
+    return seconds_ <= 0.0 ? -1.0 : seconds_ - watch_.elapsedSeconds();
+  }
+  double limitSeconds() const { return seconds_; }
+
+ private:
+  double seconds_;
+  Stopwatch watch_;
+};
+
+}  // namespace dsct

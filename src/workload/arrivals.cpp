@@ -1,0 +1,48 @@
+#include "workload/arrivals.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.h"
+
+namespace dsct {
+
+ArrivalProcess ArrivalProcess::poisson(double ratePerSecond) {
+  DSCT_CHECK(ratePerSecond > 0.0);
+  return ArrivalProcess(ratePerSecond, ratePerSecond, 0.0);
+}
+
+ArrivalProcess ArrivalProcess::diurnal(double baseRatePerSecond,
+                                       double peakRatePerSecond,
+                                       double periodSeconds) {
+  DSCT_CHECK(baseRatePerSecond >= 0.0);
+  DSCT_CHECK(peakRatePerSecond >= baseRatePerSecond);
+  DSCT_CHECK(peakRatePerSecond > 0.0);
+  DSCT_CHECK(periodSeconds > 0.0);
+  return ArrivalProcess(baseRatePerSecond, peakRatePerSecond, periodSeconds);
+}
+
+double ArrivalProcess::rateAt(double t) const {
+  if (period_ <= 0.0) return base_;
+  const double phase = 2.0 * std::numbers::pi * t / period_;
+  return base_ + (peak_ - base_) * (1.0 - std::cos(phase)) / 2.0;
+}
+
+std::vector<double> ArrivalProcess::sample(double horizonSeconds,
+                                           Rng& rng) const {
+  DSCT_CHECK(horizonSeconds >= 0.0);
+  std::vector<double> arrivals;
+  // Thinning: draw a homogeneous Poisson at the max rate and accept each
+  // point with probability λ(t)/λ_max.
+  double t = 0.0;
+  for (;;) {
+    t += rng.exponential(peak_);
+    if (t >= horizonSeconds) break;
+    if (period_ <= 0.0 || rng.uniform(0.0, 1.0) * peak_ <= rateAt(t)) {
+      arrivals.push_back(t);
+    }
+  }
+  return arrivals;
+}
+
+}  // namespace dsct

@@ -1,0 +1,43 @@
+// Arrival processes for the serving simulator.
+//
+// Homogeneous Poisson plus a non-homogeneous (thinning-sampled) diurnal
+// process: social-network style inference load with a smooth day/night
+// cycle, λ(t) = base + (peak − base)·(1 − cos(2πt/period))/2.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dsct {
+
+class ArrivalProcess {
+ public:
+  /// Constant rate λ (requests/second).
+  static ArrivalProcess poisson(double ratePerSecond);
+
+  /// Diurnal rate oscillating between base (at t = 0) and peak (half a
+  /// period later).
+  static ArrivalProcess diurnal(double baseRatePerSecond,
+                                double peakRatePerSecond,
+                                double periodSeconds);
+
+  /// Rate λ(t).
+  double rateAt(double t) const;
+
+  /// Sample arrival times in [0, horizon) by thinning (exact for any
+  /// bounded λ).
+  std::vector<double> sample(double horizonSeconds, Rng& rng) const;
+
+  double maxRate() const { return peak_; }
+
+ private:
+  ArrivalProcess(double base, double peak, double period)
+      : base_(base), peak_(peak), period_(period) {}
+
+  double base_;
+  double peak_;
+  double period_;  ///< <= 0 means constant rate
+};
+
+}  // namespace dsct

@@ -1,0 +1,123 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <string>
+
+#include <limits>
+
+#include "accuracy/fit.h"
+#include "sched/fr_opt.h"
+#include "util/check.h"
+
+namespace dsct {
+
+std::vector<Machine> makeUniformMachines(int m, Rng& rng) {
+  DSCT_CHECK(m >= 1);
+  std::vector<Machine> machines;
+  machines.reserve(static_cast<std::size_t>(m));
+  for (int r = 0; r < m; ++r) {
+    Machine machine;
+    machine.speed = rng.uniform(GeneratorDefaults::kMinSpeed,
+                                GeneratorDefaults::kMaxSpeed);
+    machine.efficiency =
+        rng.uniform(GeneratorDefaults::kMinEff, GeneratorDefaults::kMaxEff);
+    machine.name = "machine-" + std::to_string(r);
+    machines.push_back(std::move(machine));
+  }
+  return machines;
+}
+
+std::vector<double> makeThetasUniform(int n, double thetaMin, double thetaMax,
+                                      Rng& rng) {
+  DSCT_CHECK(n >= 0);
+  DSCT_CHECK_MSG(thetaMin > 0.0 && thetaMax >= thetaMin,
+                 "invalid theta range [" << thetaMin << ", " << thetaMax << "]");
+  std::vector<double> thetas(static_cast<std::size_t>(n));
+  for (double& theta : thetas) theta = rng.uniform(thetaMin, thetaMax);
+  return thetas;
+}
+
+std::vector<double> makeThetasEarliestHighEfficient(int n, double fracHigh,
+                                                    double hiLo, double hiHi,
+                                                    double loLo, double loHi,
+                                                    Rng& rng) {
+  DSCT_CHECK(fracHigh >= 0.0 && fracHigh <= 1.0);
+  std::vector<double> thetas(static_cast<std::size_t>(n));
+  const int cut = static_cast<int>(fracHigh * static_cast<double>(n));
+  for (int j = 0; j < n; ++j) {
+    thetas[static_cast<std::size_t>(j)] =
+        j < cut ? rng.uniform(hiLo, hiHi) : rng.uniform(loLo, loHi);
+  }
+  return thetas;
+}
+
+Instance buildInstance(std::vector<Machine> machines,
+                       const std::vector<double>& thetas,
+                       const ScenarioSpec& spec, Rng& rng) {
+  const int n = static_cast<int>(thetas.size());
+  DSCT_CHECK(!machines.empty());
+
+  // Accuracy functions first: d_max depends on Σ_j f_j^max.
+  std::vector<PiecewiseLinearAccuracy> accuracies;
+  accuracies.reserve(static_cast<std::size_t>(n));
+  double totalFmax = 0.0;
+  for (double theta : thetas) {
+    accuracies.push_back(makePaperAccuracy(spec.amin, spec.amax, theta,
+                                           spec.segments, spec.coverageEps));
+    totalFmax += accuracies.back().fmax();
+  }
+  double totalSpeed = 0.0;
+  double totalPower = 0.0;
+  for (const Machine& machine : machines) {
+    totalSpeed += machine.speed;
+    totalPower += machine.power();
+  }
+
+  // ρ = m²·d_max / (Σ_j f_j^max · Σ_r s_r) — the paper's deadline tolerance.
+  const double mm = static_cast<double>(machines.size());
+  const double dmax = n > 0
+                          ? spec.rho * totalFmax * totalSpeed / (mm * mm)
+                          : 0.0;
+
+  // Deadlines uniform in (0, d_max], with the largest pinned to d_max so the
+  // β normalisation below is exact; sorted ascending. Task j (deadline rank
+  // j) receives accuracy function j, matching scenario definitions that
+  // speak of "the earliest tasks".
+  std::vector<double> deadlines(static_cast<std::size_t>(n));
+  for (int j = 0; j + 1 < n; ++j) {
+    deadlines[static_cast<std::size_t>(j)] = rng.uniform(0.0, dmax);
+  }
+  if (n > 0) deadlines[static_cast<std::size_t>(n - 1)] = dmax;
+  std::sort(deadlines.begin(), deadlines.end());
+
+  std::vector<Task> tasks;
+  tasks.reserve(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    tasks.push_back(Task{deadlines[static_cast<std::size_t>(j)],
+                         accuracies[static_cast<std::size_t>(j)],
+                         "task-" + std::to_string(j)});
+  }
+
+  if (spec.budgetMode == BudgetMode::kWorkloadEnergy) {
+    // Reference energy: what the deadline-only optimum would consume.
+    Instance unconstrained(tasks, machines,
+                           std::numeric_limits<double>::max());
+    const double reference = solveFrOpt(unconstrained).energy;
+    return Instance(std::move(tasks), std::move(machines),
+                    spec.beta * reference);
+  }
+  // β = B / (d_max · Σ_r P_r) — the paper's normalisation.
+  const double budget = spec.beta * dmax * totalPower;
+  return Instance(std::move(tasks), std::move(machines), budget);
+}
+
+Instance makeScenario(const ScenarioSpec& spec, double thetaMin,
+                      double thetaMax, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Machine> machines = makeUniformMachines(spec.numMachines, rng);
+  const std::vector<double> thetas =
+      makeThetasUniform(spec.numTasks, thetaMin, thetaMax, rng);
+  return buildInstance(std::move(machines), thetas, spec, rng);
+}
+
+}  // namespace dsct

@@ -1,0 +1,79 @@
+#include "workload/gpu_catalog.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dsct {
+
+Machine GpuSpec::toMachine() const {
+  // 1 GFLOPS/W == 1e-3 TFLOP/J.
+  return Machine{speedTflops, efficiencyGflopsPerWatt * 1e-3, name};
+}
+
+const std::vector<GpuSpec>& gpuCatalog() {
+  static const std::vector<GpuSpec> catalog = {
+      {"K80", 4.1, 14.0},        {"M60", 4.8, 16.0},
+      {"P4", 5.5, 22.0},         {"M40", 7.0, 28.0},
+      {"T4", 8.1, 33.0},         {"RTX-A2000", 8.0, 36.0},
+      {"P100", 9.3, 37.0},       {"A30", 10.3, 42.0},
+      {"V100", 14.0, 47.0},      {"A10", 15.7, 50.0},
+      {"A40", 18.0, 55.0},       {"A100", 19.5, 60.0},
+  };
+  return catalog;
+}
+
+const GpuSpec& gpuByName(const std::string& name) {
+  for (const GpuSpec& gpu : gpuCatalog()) {
+    if (gpu.name == name) return gpu;
+  }
+  DSCT_CHECK_MSG(false, "unknown GPU: " << name);
+  // Unreachable; silences missing-return warnings.
+  return gpuCatalog().front();
+}
+
+std::vector<Machine> machinesFromCatalog() {
+  std::vector<Machine> machines;
+  machines.reserve(gpuCatalog().size());
+  for (const GpuSpec& gpu : gpuCatalog()) machines.push_back(gpu.toMachine());
+  return machines;
+}
+
+std::vector<Machine> machinesFromCatalog(
+    const std::vector<std::string>& names) {
+  std::vector<Machine> machines;
+  machines.reserve(names.size());
+  for (const std::string& name : names) {
+    machines.push_back(gpuByName(name).toMachine());
+  }
+  return machines;
+}
+
+LinearTrend efficiencyTrend() {
+  const auto& catalog = gpuCatalog();
+  const double n = static_cast<double>(catalog.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (const GpuSpec& gpu : catalog) {
+    sx += gpu.speedTflops;
+    sy += gpu.efficiencyGflopsPerWatt;
+    sxx += gpu.speedTflops * gpu.speedTflops;
+    sxy += gpu.speedTflops * gpu.efficiencyGflopsPerWatt;
+    syy += gpu.efficiencyGflopsPerWatt * gpu.efficiencyGflopsPerWatt;
+  }
+  LinearTrend trend;
+  const double denom = n * sxx - sx * sx;
+  DSCT_CHECK(denom > 0.0);
+  trend.slope = (n * sxy - sx * sy) / denom;
+  trend.intercept = (sy - trend.slope * sx) / n;
+  const double ssTot = syy - sy * sy / n;
+  double ssRes = 0.0;
+  for (const GpuSpec& gpu : catalog) {
+    const double pred = trend.intercept + trend.slope * gpu.speedTflops;
+    ssRes += (gpu.efficiencyGflopsPerWatt - pred) *
+             (gpu.efficiencyGflopsPerWatt - pred);
+  }
+  trend.r2 = ssTot > 0.0 ? 1.0 - ssRes / ssTot : 1.0;
+  return trend;
+}
+
+}  // namespace dsct

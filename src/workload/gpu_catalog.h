@@ -1,0 +1,44 @@
+// Synthetic server-GPU catalog following the efficiency-vs-speed trend of
+// Desislavov et al. (paper Fig. 1): newer/faster inference devices are also
+// more energy efficient, roughly linearly in speed.
+//
+// The paper only uses the *trend* (speeds ~1-20 TFLOPS, efficiencies
+// ~5-60 GFLOPS/W); the entries below are representative data-centre GPUs
+// with spec-sheet-scale numbers clipped into that envelope.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/types.h"
+
+namespace dsct {
+
+struct GpuSpec {
+  std::string name;
+  double speedTflops;       ///< dense FP32-equivalent inference throughput
+  double efficiencyGflopsPerWatt;
+
+  Machine toMachine() const;
+};
+
+/// The embedded catalog, ordered by increasing speed.
+const std::vector<GpuSpec>& gpuCatalog();
+
+/// Find a GPU by name; throws CheckError when absent.
+const GpuSpec& gpuByName(const std::string& name);
+
+/// Convert the whole catalog (or a subset by names) to machines.
+std::vector<Machine> machinesFromCatalog();
+std::vector<Machine> machinesFromCatalog(const std::vector<std::string>& names);
+
+/// Least-squares linear fit efficiency ≈ a + b·speed over the catalog —
+/// the "linear improvement" trend the paper reads off Fig. 1.
+struct LinearTrend {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+LinearTrend efficiencyTrend();
+
+}  // namespace dsct

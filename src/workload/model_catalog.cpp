@@ -1,0 +1,48 @@
+#include "workload/model_catalog.h"
+
+#include <cmath>
+
+#include "accuracy/fit.h"
+#include "util/check.h"
+#include "workload/generator.h"
+
+namespace dsct {
+
+double ModelSpec::theta() const {
+  DSCT_CHECK(fullTflop > 0.0);
+  // makePaperAccuracy covers all but eps of the accuracy range by
+  // f = ln(1/eps)·(amax−amin)/θ; invert so the curve tops out at fullTflop.
+  return std::log(1.0 / GeneratorDefaults::kCoverageEps) * (amax - amin) /
+         fullTflop;
+}
+
+Task ModelSpec::toTask(double deadlineSeconds,
+                       const std::string& taskName) const {
+  return Task{deadlineSeconds,
+              makePaperAccuracy(amin, amax, theta(), segments),
+              taskName.empty() ? name : taskName};
+}
+
+const std::vector<ModelSpec>& modelCatalog() {
+  // Compute costs are per batch of 1000 images (TFLOP); accuracies are
+  // representative ImageNet-1k top-1 numbers for slimmable variants.
+  static const std::vector<ModelSpec> catalog = {
+      {"mobilenet-v3", 0.3, 0.752},
+      {"efficientnet-b0", 0.8, 0.772},
+      {"resnet-50", 4.1, 0.80},
+      {"ofa-resnet", 4.5, 0.82},  // the paper's model
+      {"efficientnet-b4", 8.8, 0.829},
+      {"vit-base", 17.6, 0.846},
+  };
+  return catalog;
+}
+
+const ModelSpec& modelByName(const std::string& name) {
+  for (const ModelSpec& spec : modelCatalog()) {
+    if (spec.name == name) return spec;
+  }
+  DSCT_CHECK_MSG(false, "unknown model: " << name);
+  return modelCatalog().front();  // unreachable
+}
+
+}  // namespace dsct

@@ -1,0 +1,37 @@
+// Catalog of slimmable inference model families.
+//
+// Each entry describes an OFA/AutoSlim-style compressible network by its
+// full-size compute cost and accuracy ceiling; tasks are derived by fitting
+// the usual 5-segment concave accuracy curve to the family's exponential
+// profile. Numbers are representative of published ImageNet-1k results
+// (paper Section 6 uses ofa-resnet: a_max 0.82, a_min 1/1000).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/types.h"
+
+namespace dsct {
+
+struct ModelSpec {
+  std::string name;
+  double fullTflop;  ///< compute for the uncompressed network (per request)
+  double amax;       ///< top-1 accuracy of the full network
+  double amin = 1e-3;
+  int segments = 5;
+
+  /// The task-efficiency θ implied by the spec: the fitted accuracy curve
+  /// reaches amax at ~fullTflop.
+  double theta() const;
+
+  /// Build a task with the family's accuracy curve and the given deadline.
+  Task toTask(double deadlineSeconds, const std::string& taskName = {}) const;
+};
+
+/// Embedded families, ordered by increasing compute.
+const std::vector<ModelSpec>& modelCatalog();
+
+const ModelSpec& modelByName(const std::string& name);
+
+}  // namespace dsct

@@ -1,0 +1,107 @@
+// Parameterised property sweeps over the accuracy-model family used by
+// every experiment (TEST_P per DESIGN.md testing strategy).
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "accuracy/exponential.h"
+#include "accuracy/fit.h"
+#include "accuracy/piecewise.h"
+
+namespace dsct {
+namespace {
+
+class PaperAccuracySweep
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(PaperAccuracySweep, StructuralInvariants) {
+  const auto& [theta, segments] = GetParam();
+  const auto acc = makePaperAccuracy(0.001, 0.82, theta, segments);
+
+  // Fixed endpoints.
+  EXPECT_DOUBLE_EQ(acc.amin(), 0.001);
+  EXPECT_NEAR(acc.amax(), 0.82, 1e-9);
+  EXPECT_EQ(acc.numSegments(), segments);
+
+  // Monotone non-decreasing, concave, in-range.
+  double prev = -1.0;
+  for (double f = 0.0; f <= acc.fmax(); f += acc.fmax() / 53.0) {
+    const double a = acc.value(f);
+    EXPECT_GE(a, prev - 1e-12);
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+    // gain (right slope) never exceeds loss (left slope): concavity.
+    EXPECT_LE(acc.marginalGain(f), acc.marginalLoss(f) + 1e-12);
+    prev = a;
+  }
+
+  // Slopes strictly ordered for the geometric fit of an exponential.
+  for (int k = 0; k + 1 < acc.numSegments(); ++k) {
+    EXPECT_GT(acc.slope(k), acc.slope(k + 1));
+  }
+
+  // The fitted first-segment slope tracks θ within the chord factor.
+  EXPECT_GT(acc.theta(), 0.4 * theta);
+  EXPECT_LT(acc.theta(), 1.2 * theta);
+
+  // inverse is a right-inverse of value across the whole range.
+  for (double a = acc.amin(); a <= acc.amax();
+       a += (acc.amax() - acc.amin()) / 11.0) {
+    EXPECT_NEAR(acc.value(acc.inverse(a)), a, 1e-9);
+  }
+}
+
+TEST_P(PaperAccuracySweep, FmaxScalesInverselyWithTheta) {
+  const auto& [theta, segments] = GetParam();
+  const auto one = makePaperAccuracy(0.001, 0.82, theta, segments);
+  const auto twice = makePaperAccuracy(0.001, 0.82, 2.0 * theta, segments);
+  EXPECT_NEAR(one.fmax() / twice.fmax(), 2.0, 1e-9);
+}
+
+TEST_P(PaperAccuracySweep, SuffixChainsConsistently) {
+  const auto& [theta, segments] = GetParam();
+  const auto acc = makePaperAccuracy(0.001, 0.82, theta, segments);
+  // suffix(a).suffix(b) == suffix(a + b).
+  const double a = 0.2 * acc.fmax();
+  const double b = 0.3 * acc.fmax();
+  const auto chained = acc.suffix(a).suffix(b);
+  const auto direct = acc.suffix(a + b);
+  EXPECT_NEAR(chained.fmax(), direct.fmax(), 1e-9);
+  for (double f = 0.0; f <= chained.fmax(); f += chained.fmax() / 13.0) {
+    EXPECT_NEAR(chained.value(f), direct.value(f), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThetaBySegments, PaperAccuracySweep,
+    ::testing::Combine(::testing::Values(0.1, 0.5, 1.0, 2.4, 4.9),
+                       ::testing::Values(2, 5, 9)));
+
+class ExponentialSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExponentialSweep, FitErrorShrinksWithMoreSegments) {
+  const double theta = GetParam();
+  const ExponentialAccuracyModel model(0.001, 0.82, theta);
+  const double fmax = model.flopsForCoverage(0.01);
+  double prevError = 1e9;
+  for (int segments : {2, 4, 8, 16}) {
+    const auto fit = fitInterpolate(
+        model, makeBreakpoints(fmax, segments, BreakpointSpacing::kGeometric));
+    double worst = 0.0;
+    for (double f = 0.0; f <= fmax; f += fmax / 101.0) {
+      worst = std::max(worst, std::fabs(fit.value(f) - model.value(f)));
+    }
+    EXPECT_LT(worst, prevError + 1e-12) << "segments " << segments;
+    prevError = worst;
+  }
+  // The affine endpoint rescale (fit forced through a_max at f_max) adds a
+  // systematic ~eps·range ≈ 0.008 on top of the chord error.
+  EXPECT_LT(prevError, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ExponentialSweep,
+                         ::testing::Values(0.1, 0.7, 2.0, 4.9));
+
+}  // namespace
+}  // namespace dsct

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "accuracy/levels.h"
+#include "baselines/edf_levels.h"
+#include "baselines/edf_nocompress.h"
+#include "sched/approx.h"
+#include "sched/validator.h"
+#include "tests/test_support.h"
+#include "util/rng.h"
+
+namespace dsct {
+namespace {
+
+using testing::randomInstance;
+using testing::tinyInstance;
+
+TEST(EdfNoCompression, SchedulesWhatFitsUncompressed) {
+  // Tiny instance, huge budget. Task 0 (2 TFLOP, d=1) fits fully on the
+  // 2 TFLOPS machine. Task 1 (3 TFLOP, d=2) fits nowhere uncompressed:
+  // machine 0 is busy until t=1 and needs 1.5 s more; machine 1 alone
+  // needs 3 s. The no-compression baseline must drop it.
+  const Instance inst = tinyInstance(1e9);
+  const BaselineResult res = solveEdfNoCompression(inst);
+  EXPECT_EQ(res.scheduledTasks, 1);
+  EXPECT_EQ(res.droppedTasks, 1);
+  EXPECT_NEAR(res.totalAccuracy, inst.task(0).amax() + inst.task(1).amin(),
+              1e-9);
+  EXPECT_TRUE(validate(inst, res.schedule).feasible);
+}
+
+TEST(EdfNoCompression, DropsWhenBudgetTight) {
+  const Instance inst = tinyInstance(0.5);  // almost no energy
+  const BaselineResult res = solveEdfNoCompression(inst);
+  EXPECT_EQ(res.scheduledTasks, 0);
+  EXPECT_NEAR(res.totalAccuracy, inst.totalAmin(), 1e-9);
+}
+
+TEST(EdfNoCompression, AllOrNothingPerTask) {
+  const Instance inst = randomInstance(17, 10, 3, 0.2, 0.3);
+  const BaselineResult res = solveEdfNoCompression(inst);
+  for (int j = 0; j < inst.numTasks(); ++j) {
+    const double f = res.schedule.flops(inst, j);
+    const bool fully = std::abs(f - inst.task(j).fmax()) < 1e-6;
+    const bool dropped = f < 1e-9;
+    EXPECT_TRUE(fully || dropped) << "task " << j << " partially processed";
+  }
+  EXPECT_TRUE(validate(inst, res.schedule).feasible);
+}
+
+TEST(EdfLevels, UsesOnlyDiscreteLevels) {
+  const Instance inst = randomInstance(18, 10, 3, 0.3, 0.5);
+  const EdfLevelsOptions options;
+  const BaselineResult res = solveEdfLevels(inst, options);
+  for (int j = 0; j < inst.numTasks(); ++j) {
+    if (res.schedule.machineOf(j) < 0) continue;
+    const double f = res.schedule.flops(inst, j);
+    const auto levels =
+        levelsForTargets(inst.task(j).accuracy, options.accuracyTargets);
+    bool matches = f < 1e-9;
+    for (const CompressionLevel& level : levels) {
+      if (std::abs(f - level.flops) < 1e-6) matches = true;
+    }
+    EXPECT_TRUE(matches) << "task " << j << " ran at off-level flops " << f;
+  }
+  EXPECT_TRUE(validate(inst, res.schedule).feasible);
+}
+
+TEST(EdfLevels, BeatsOrMatchesNoCompressionUnderTightBudget) {
+  // With a tight budget, compression lets more tasks run: the 3-level
+  // baseline should never be worse than no-compression.
+  for (int trial = 0; trial < 10; ++trial) {
+    const Instance inst = randomInstance(deriveSeed(400, trial), 20, 3,
+                                         0.5, 0.15, 0.1, 1.0);
+    const BaselineResult none = solveEdfNoCompression(inst);
+    const BaselineResult three = solveEdfLevels(inst);
+    EXPECT_GE(three.totalAccuracy, none.totalAccuracy - 1e-6)
+        << "trial " << trial;
+  }
+}
+
+TEST(Baselines, ApproxDominatesBothOnAverage) {
+  // The paper's headline comparison: under a tight energy budget,
+  // DSCT-EA-APPROX beats both baselines (Fig. 5's low-β regime).
+  double approxSum = 0.0, noneSum = 0.0, threeSum = 0.0;
+  for (int trial = 0; trial < 10; ++trial) {
+    ScenarioSpec spec;
+    spec.numTasks = 20;
+    spec.numMachines = 2;
+    spec.rho = 1.0;
+    spec.beta = 0.3;
+    spec.budgetMode = BudgetMode::kWorkloadEnergy;
+    const Instance inst = makeScenario(spec, 0.1, 0.1, deriveSeed(500, trial));
+    approxSum += solveApprox(inst).totalAccuracy;
+    noneSum += solveEdfNoCompression(inst).totalAccuracy;
+    threeSum += solveEdfLevels(inst).totalAccuracy;
+  }
+  EXPECT_GT(approxSum, noneSum);
+  EXPECT_GT(approxSum, threeSum);
+}
+
+TEST(Baselines, ZeroBudget) {
+  const Instance inst = randomInstance(6, 5, 2, 0.3, 0.0);
+  EXPECT_EQ(solveEdfNoCompression(inst).scheduledTasks, 0);
+  EXPECT_EQ(solveEdfLevels(inst).scheduledTasks, 0);
+}
+
+TEST(Baselines, EmptyInstance) {
+  Instance inst({}, {Machine{1.0, 1.0, "m"}}, 1.0);
+  EXPECT_EQ(solveEdfNoCompression(inst).scheduledTasks, 0);
+  EXPECT_EQ(solveEdfLevels(inst).scheduledTasks, 0);
+}
+
+TEST(EdfLevels, CustomTargets) {
+  const Instance inst = tinyInstance(1e9);
+  EdfLevelsOptions options;
+  options.accuracyTargets = {0.5};
+  const BaselineResult res = solveEdfLevels(inst, options);
+  EXPECT_EQ(res.scheduledTasks, 2);
+  for (int j = 0; j < inst.numTasks(); ++j) {
+    EXPECT_NEAR(res.schedule.taskAccuracy(inst, j), 0.5, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace dsct

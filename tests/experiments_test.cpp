@@ -1,0 +1,118 @@
+// Experiment harness configuration and helper coverage.
+#include <gtest/gtest.h>
+
+#include "experiments/runner.h"
+#include "experiments/scenarios.h"
+#include "util/rng.h"
+
+namespace dsct {
+namespace {
+
+TEST(Configs, QuickVariantsAreSmallerThanPaperScale) {
+  const Fig3Config fig3;
+  EXPECT_LT(Fig3Config::quick().numTasks, fig3.numTasks);
+  EXPECT_LT(Fig3Config::quick().replications, fig3.replications);
+
+  const Fig4Config fig4;
+  EXPECT_LT(Fig4Config::quick().mipTimeLimit, fig4.mipTimeLimit);
+  EXPECT_LT(Fig4Config::quick().taskCounts.back(), fig4.taskCounts.back());
+
+  const Table1Config table1;
+  EXPECT_LT(Table1Config::quick().taskCounts.back(),
+            table1.taskCounts.back());
+
+  const Fig5Config fig5;
+  EXPECT_LE(Fig5Config::quick().replications, fig5.replications);
+
+  const Fig6Config fig6;
+  EXPECT_LE(Fig6Config::quick().replications, fig6.replications);
+}
+
+TEST(Configs, PaperDefaultsMatchSection6) {
+  const Fig3Config fig3;
+  EXPECT_EQ(fig3.numTasks, 100);
+  EXPECT_EQ(fig3.numMachines, 5);
+  EXPECT_DOUBLE_EQ(fig3.rho, 0.35);
+  EXPECT_DOUBLE_EQ(fig3.beta, 0.5);
+  EXPECT_DOUBLE_EQ(fig3.thetaMin, 0.1);
+
+  const Fig5Config fig5;
+  EXPECT_EQ(fig5.numTasks, 100);
+  EXPECT_EQ(fig5.numMachines, 2);
+  EXPECT_DOUBLE_EQ(fig5.rho, 1.0);
+  EXPECT_DOUBLE_EQ(fig5.theta, 0.1);
+
+  const Fig6Config fig6;
+  EXPECT_DOUBLE_EQ(fig6.rho, 0.01);
+  EXPECT_DOUBLE_EQ(fig6.speed1, 2.0);
+  EXPECT_DOUBLE_EQ(fig6.eff1, 80e-3);
+  EXPECT_DOUBLE_EQ(fig6.speed2, 5.0);
+  EXPECT_DOUBLE_EQ(fig6.eff2, 70e-3);
+
+  const Table1Config table1;
+  EXPECT_EQ(table1.numMachines, 5);
+  EXPECT_EQ(table1.taskCounts.front(), 100);
+  EXPECT_EQ(table1.taskCounts.back(), 500);
+}
+
+TEST(EnergyGain, PicksBestRowWithinLossBound) {
+  Fig5Row cheapButBad;
+  cheapButBad.beta = 0.2;
+  cheapButBad.approx.add(0.50);
+  cheapButBad.approxEnergy.add(20.0);
+  cheapButBad.edfNoCompression.add(0.30);
+  cheapButBad.edfNoEnergy.add(90.0);
+
+  Fig5Row sweetSpot;
+  sweetSpot.beta = 0.6;
+  sweetSpot.approx.add(0.79);
+  sweetSpot.approxEnergy.add(60.0);
+  sweetSpot.edfNoCompression.add(0.60);
+  sweetSpot.edfNoEnergy.add(95.0);
+
+  Fig5Row reference;
+  reference.beta = 1.0;
+  reference.approx.add(0.82);
+  reference.approxEnergy.add(100.0);
+  reference.edfNoCompression.add(0.80);
+  reference.edfNoEnergy.add(100.0);
+
+  const EnergyGain gain =
+      energyGainHeadline({cheapButBad, sweetSpot, reference}, 0.02);
+  // cheapButBad loses 0.30 (> 2%): excluded. sweetSpot loses 0.01 and
+  // saves 40%; the reference row saves 0%.
+  EXPECT_DOUBLE_EQ(gain.betaStar, 0.6);
+  EXPECT_NEAR(gain.savedFraction, 0.40, 1e-12);
+  EXPECT_NEAR(gain.accuracyLoss, 0.01, 1e-12);
+}
+
+TEST(EnergyGain, NoRowWithinBound) {
+  Fig5Row lossy;
+  lossy.beta = 0.5;
+  lossy.approx.add(0.10);
+  lossy.approxEnergy.add(10.0);
+  lossy.edfNoCompression.add(0.80);
+  lossy.edfNoEnergy.add(100.0);
+  const EnergyGain gain = energyGainHeadline({lossy}, 0.02);
+  // Only the reference row itself qualifies (loss 0.7 > 0.02 for saving).
+  EXPECT_DOUBLE_EQ(gain.savedFraction, 0.0);
+}
+
+TEST(RunnerTest, SeedIndependentOfThreadCount) {
+  // Deterministic reduction: same per-replication values regardless of
+  // pool size (results are a pure function of the replication index).
+  const auto fn = [](int rep) {
+    return static_cast<double>(splitmix64(static_cast<std::uint64_t>(rep)) %
+                               1000);
+  };
+  ExperimentRunner one(1);
+  ExperimentRunner four(4);
+  const RunningStats a = one.replicate(50, fn);
+  const RunningStats b = four.replicate(50, fn);
+  EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+  EXPECT_DOUBLE_EQ(a.min(), b.min());
+  EXPECT_DOUBLE_EQ(a.max(), b.max());
+}
+
+}  // namespace
+}  // namespace dsct

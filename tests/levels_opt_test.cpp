@@ -1,0 +1,165 @@
+#include "baselines/levels_opt.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/edf_levels.h"
+#include "sched/approx.h"
+#include "sched/validator.h"
+#include "tests/test_support.h"
+#include "util/rng.h"
+
+namespace dsct {
+namespace {
+
+using testing::randomInstance;
+using testing::tinyInstance;
+
+TEST(LevelMenus, RoutesAndFiltersByDeadline) {
+  const Instance inst = tinyInstance(1e9);
+  const auto menus = buildLevelMenus(inst, {0.27, 0.55, 0.82});
+  ASSERT_EQ(menus.size(), 2u);
+  for (const LevelMenu& menu : menus) {
+    EXPECT_GE(menu.machine, 0);
+    EXPECT_FALSE(menu.levels.empty());
+    // Every offered level fits the machine's speed and the task deadline
+    // when started immediately (stronger checks in the property test).
+    for (std::size_t l = 1; l < menu.levels.size(); ++l) {
+      EXPECT_LT(menu.levels[l - 1].flops, menu.levels[l].flops);
+    }
+  }
+}
+
+TEST(LevelsOpt, FeasibleOnRandomInstances) {
+  for (int trial = 0; trial < 10; ++trial) {
+    Rng rng(deriveSeed(808, trial));
+    const Instance inst =
+        randomInstance(deriveSeed(808, trial), 15, 3,
+                       rng.uniform(0.05, 1.0), rng.uniform(0.05, 1.0));
+    const BaselineResult res = solveEdfLevelsOpt(inst);
+    const ValidationReport report = validate(inst, res.schedule);
+    EXPECT_TRUE(report.feasible) << "trial " << trial << "\n"
+                                 << report.summary();
+  }
+}
+
+TEST(LevelsOpt, UsesOnlyMenuLevels) {
+  const Instance inst = randomInstance(55, 12, 3, 0.3, 0.5);
+  const EdfLevelsOptOptions options;
+  const BaselineResult res = solveEdfLevelsOpt(inst, options);
+  const auto menus = buildLevelMenus(inst, options.accuracyTargets);
+  for (int j = 0; j < inst.numTasks(); ++j) {
+    const int r = res.schedule.machineOf(j);
+    if (r < 0) continue;
+    EXPECT_EQ(r, menus[static_cast<std::size_t>(j)].machine);
+    const double f = res.schedule.flops(inst, j);
+    bool onMenu = false;
+    for (const CompressionLevel& level :
+         menus[static_cast<std::size_t>(j)].levels) {
+      if (std::fabs(f - level.flops) < 1e-6) onMenu = true;
+    }
+    EXPECT_TRUE(onMenu) << "task " << j << " flops " << f;
+  }
+}
+
+TEST(LevelsOpt, DominatesGreedyLevelsOnAverage) {
+  // Same level targets, globally optimal energy allocation: the DP variant
+  // must beat (or match) the greedy baseline across a tight-budget sweep.
+  double dpSum = 0.0, greedySum = 0.0;
+  for (int trial = 0; trial < 12; ++trial) {
+    ScenarioSpec spec;
+    spec.numTasks = 20;
+    spec.numMachines = 2;
+    spec.rho = 1.0;
+    spec.beta = 0.25;
+    spec.budgetMode = BudgetMode::kWorkloadEnergy;
+    const Instance inst = makeScenario(spec, 0.1, 1.0, deriveSeed(4, trial));
+    dpSum += solveEdfLevelsOpt(inst).totalAccuracy;
+    greedySum += solveEdfLevels(inst).totalAccuracy;
+  }
+  EXPECT_GT(dpSum, greedySum);
+}
+
+TEST(LevelsOpt, StillBelowApprox) {
+  // Continuous compression dominates any discrete-level policy.
+  for (int trial = 0; trial < 6; ++trial) {
+    ScenarioSpec spec;
+    spec.numTasks = 15;
+    spec.numMachines = 2;
+    spec.rho = 1.0;
+    spec.beta = 0.3;
+    spec.budgetMode = BudgetMode::kWorkloadEnergy;
+    const Instance inst = makeScenario(spec, 0.1, 0.5, deriveSeed(5, trial));
+    EXPECT_LE(solveEdfLevelsOpt(inst).totalAccuracy,
+              solveApprox(inst).totalAccuracy + 0.05)
+        << "trial " << trial;
+  }
+}
+
+TEST(LevelsOpt, MatchesBruteForceOnTinyMenus) {
+  // Exhaustive search over all level combinations with the same routing.
+  for (int trial = 0; trial < 8; ++trial) {
+    Rng rng(deriveSeed(909, trial));
+    ScenarioSpec spec;
+    spec.numTasks = 6;
+    spec.numMachines = 2;
+    spec.rho = 0.5;
+    spec.beta = rng.uniform(0.1, 0.6);
+    spec.budgetMode = BudgetMode::kWorkloadEnergy;
+    const Instance inst = makeScenario(spec, 0.2, 2.0, deriveSeed(910, trial));
+    EdfLevelsOptOptions options;
+    options.budgetBuckets = 1 << 14;  // fine grid: discretisation ~exact
+    const auto menus = buildLevelMenus(inst, options.accuracyTargets);
+
+    // Brute force: every combination of (drop | level) per task.
+    double best = 0.0;
+    std::vector<int> pick(static_cast<std::size_t>(inst.numTasks()), -1);
+    long combos = 1;
+    for (const LevelMenu& menu : menus) {
+      combos *= static_cast<long>(menu.levels.size()) + 1;
+    }
+    for (long code = 0; code < combos; ++code) {
+      long c = code;
+      double accuracy = 0.0;
+      double energy = 0.0;
+      for (int j = 0; j < inst.numTasks(); ++j) {
+        const LevelMenu& menu = menus[static_cast<std::size_t>(j)];
+        const long base = static_cast<long>(menu.levels.size()) + 1;
+        const long sel = c % base;
+        c /= base;
+        if (sel == 0 || menu.machine < 0) {
+          accuracy += inst.task(j).amin();
+          continue;
+        }
+        const CompressionLevel& level =
+            menu.levels[static_cast<std::size_t>(sel - 1)];
+        accuracy += level.accuracy;
+        energy += level.flops / inst.machine(menu.machine).efficiency;
+      }
+      if (energy <= inst.energyBudget() + 1e-9) {
+        best = std::max(best, accuracy);
+      }
+    }
+
+    const BaselineResult res = solveEdfLevelsOpt(inst, options);
+    EXPECT_NEAR(res.totalAccuracy, best, 5e-3) << "trial " << trial;
+    EXPECT_LE(res.totalAccuracy, best + 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(LevelsOpt, ZeroBudgetDropsEverything) {
+  const Instance inst = randomInstance(2, 8, 2, 0.3, 0.0);
+  const BaselineResult res = solveEdfLevelsOpt(inst);
+  EXPECT_EQ(res.scheduledTasks, 0);
+  EXPECT_NEAR(res.totalAccuracy, inst.totalAmin(), 1e-12);
+}
+
+TEST(LevelsOpt, EmptyInstance) {
+  Instance inst({}, {Machine{1.0, 1.0, "m"}}, 5.0);
+  const BaselineResult res = solveEdfLevelsOpt(inst);
+  EXPECT_EQ(res.scheduledTasks, 0);
+}
+
+}  // namespace
+}  // namespace dsct

@@ -1,0 +1,149 @@
+#include "mipmodel/dsct_mip.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "mipmodel/dsct_lp.h"
+#include "sched/approx.h"
+#include "sched/validator.h"
+#include "solver/simplex.h"
+#include "tests/test_support.h"
+#include "util/rng.h"
+
+namespace dsct {
+namespace {
+
+using testing::randomInstance;
+using testing::tinyInstance;
+
+TEST(DsctLp, ModelShape) {
+  const Instance inst = tinyInstance();
+  const DsctLp lpModel = buildFractionalLp(inst);
+  // Vars: 2*2 t + 2 z. Rows: 2 tasks * 2 segments + 2*2 deadlines + 2 fmax
+  // + 1 energy.
+  EXPECT_EQ(lpModel.model.numVariables(), 6);
+  EXPECT_EQ(lpModel.model.numConstraints(), 4 + 4 + 2 + 1);
+  EXPECT_TRUE(lpModel.model.maximize());
+}
+
+TEST(DsctLp, ExtractFractionalRoundTrip) {
+  const Instance inst = tinyInstance();
+  const DsctLp lpModel = buildFractionalLp(inst);
+  const lp::LpResult res = lp::solveLp(lpModel.model);
+  ASSERT_EQ(res.status, lp::SolveStatus::kOptimal);
+  const FractionalSchedule s = extractFractional(inst, lpModel, res.x);
+  // The LP objective equals the schedule's accuracy (z_j tight at optimum).
+  EXPECT_NEAR(s.totalAccuracy(inst), res.objective, 1e-7);
+  EXPECT_TRUE(validate(inst, s).feasible);
+}
+
+TEST(DsctMip, ModelShape) {
+  const Instance inst = tinyInstance();
+  const DsctMip mip = buildMip(inst);
+  EXPECT_EQ(mip.model.numVariables(), 4 + 4 + 2);
+  EXPECT_EQ(mip.model.numIntegerVariables(), 4);
+  // Rows: 4 acc + 4 ddl + 2 fmax + 4 link + 2 assign + 1 energy.
+  EXPECT_EQ(mip.model.numConstraints(), 17);
+}
+
+TEST(DsctMip, MipStartIsFeasible) {
+  const Instance inst = randomInstance(55, 6, 2);
+  const ApproxResult approx = solveApprox(inst);
+  const DsctMip mip = buildMip(inst);
+  const std::vector<double> start = mipStart(inst, mip, approx.schedule);
+  EXPECT_TRUE(mip.model.isFeasible(start, 1e-6))
+      << "violation " << mip.model.maxViolation(start);
+  EXPECT_NEAR(mip.model.objectiveValue(start), approx.totalAccuracy, 1e-9);
+}
+
+TEST(DsctMip, SolutionFeasibleAndAboveApprox) {
+  const Instance inst = randomInstance(56, 5, 2, 0.3, 0.5);
+  const ApproxResult approx = solveApprox(inst);
+  lp::MipOptions options;
+  options.timeLimitSeconds = 20.0;
+  const MipSolveSummary summary = solveDsctMip(inst, options, &approx.schedule);
+  ASSERT_TRUE(summary.result.hasSolution);
+  ASSERT_TRUE(summary.schedule.has_value());
+  const ValidationReport report = validate(inst, *summary.schedule);
+  EXPECT_TRUE(report.feasible) << report.summary();
+  // The exact solution is at least as good as the approximation.
+  EXPECT_GE(summary.totalAccuracy, approx.totalAccuracy - 1e-6);
+}
+
+TEST(DsctMip, MipBelowFractionalUpperBound) {
+  const Instance inst = randomInstance(57, 4, 2, 0.3, 0.4);
+  lp::MipOptions options;
+  options.timeLimitSeconds = 20.0;
+  const MipSolveSummary summary = solveDsctMip(inst, options);
+  const DsctLp lpModel = buildFractionalLp(inst);
+  const lp::LpResult lpRes = lp::solveLp(lpModel.model);
+  ASSERT_EQ(lpRes.status, lp::SolveStatus::kOptimal);
+  if (summary.result.hasSolution) {
+    EXPECT_LE(summary.totalAccuracy, lpRes.objective + 1e-6);
+  }
+}
+
+// Exhaustive cross-check on tiny instances: enumerate every task→machine
+// assignment, solve the resulting per-machine fractional problems via the
+// LP, and compare with branch-and-bound.
+class MipVsExhaustive : public ::testing::TestWithParam<int> {};
+
+TEST_P(MipVsExhaustive, MatchesAssignmentEnumeration) {
+  const std::uint64_t seed =
+      deriveSeed(2718, static_cast<std::uint64_t>(GetParam()));
+  Rng rng(seed);
+  const int n = rng.uniformInt(2, 4);
+  const int m = rng.uniformInt(1, 2);
+  const Instance inst = randomInstance(seed, n, m, rng.uniform(0.05, 0.5),
+                                       rng.uniform(0.2, 0.9), 0.1, 2.0);
+
+  // Enumerate assignments; for each, the best compression levels are the
+  // solution of the LP with x fixed (still a valid LP: just drop the t_jr
+  // of unassigned machines).
+  double best = -1.0;
+  std::vector<int> assign(static_cast<std::size_t>(n), 0);
+  const long combos = static_cast<long>(std::pow(m, n));
+  for (long code = 0; code < combos; ++code) {
+    long c = code;
+    for (int j = 0; j < n; ++j) {
+      assign[static_cast<std::size_t>(j)] = static_cast<int>(c % m);
+      c /= m;
+    }
+    DsctLp lpModel = buildFractionalLp(inst);
+    // Fix t_jr = 0 for machines other than the assigned one.
+    std::vector<double> lower(
+        static_cast<std::size_t>(lpModel.model.numVariables()));
+    std::vector<double> upper(lower.size());
+    for (int v = 0; v < lpModel.model.numVariables(); ++v) {
+      lower[static_cast<std::size_t>(v)] = lpModel.model.variable(v).lower;
+      upper[static_cast<std::size_t>(v)] = lpModel.model.variable(v).upper;
+    }
+    for (int j = 0; j < n; ++j) {
+      for (int r = 0; r < m; ++r) {
+        if (r != assign[static_cast<std::size_t>(j)]) {
+          upper[static_cast<std::size_t>(lpModel.tVar(j, r))] = 0.0;
+        }
+      }
+    }
+    const lp::LpResult res =
+        lp::solveLpWithBounds(lpModel.model, lower, upper);
+    if (res.status == lp::SolveStatus::kOptimal) {
+      best = std::max(best, res.objective);
+    }
+  }
+  ASSERT_GE(best, 0.0);
+
+  lp::MipOptions options;
+  options.timeLimitSeconds = 30.0;
+  const MipSolveSummary summary = solveDsctMip(inst, options);
+  ASSERT_EQ(summary.result.status, lp::SolveStatus::kOptimal)
+      << "seed " << seed;
+  EXPECT_NEAR(summary.result.objective, best, 1e-5) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(TinyInstances, MipVsExhaustive,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace dsct

@@ -1,0 +1,70 @@
+// Deterministic grid sweep over (ρ, β, budget mode): the full algorithm
+// stack must stay feasible, sandwiched, and within the guarantee at every
+// corner of the parameter space the experiments visit.
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "baselines/edf_levels.h"
+#include "baselines/edf_nocompress.h"
+#include "baselines/levels_opt.h"
+#include "sched/approx.h"
+#include "sched/validator.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace dsct {
+namespace {
+
+class PipelineGrid
+    : public ::testing::TestWithParam<std::tuple<double, double, BudgetMode>> {
+};
+
+TEST_P(PipelineGrid, AllPoliciesFeasibleAndOrdered) {
+  const auto& [rho, beta, mode] = GetParam();
+  ScenarioSpec spec;
+  spec.numTasks = 14;
+  spec.numMachines = 3;
+  spec.rho = rho;
+  spec.beta = beta;
+  spec.budgetMode = mode;
+  const Instance inst = makeScenario(
+      spec, 0.1, 2.0,
+      deriveSeed(111, static_cast<std::uint64_t>(rho * 1000) * 31u +
+                          static_cast<std::uint64_t>(beta * 1000)));
+
+  const ApproxResult approx = solveApprox(inst);
+  const BaselineResult edf = solveEdfNoCompression(inst);
+  const BaselineResult edf3 = solveEdfLevels(inst);
+  const BaselineResult edfOpt = solveEdfLevelsOpt(inst);
+
+  // Feasibility of every policy.
+  for (const auto* schedule :
+       {&approx.schedule, &edf.schedule, &edf3.schedule, &edfOpt.schedule}) {
+    const ValidationReport report = validate(inst, *schedule);
+    EXPECT_TRUE(report.feasible)
+        << "rho=" << rho << " beta=" << beta << "\n" << report.summary();
+  }
+
+  // Sandwich: floor <= baselines/APPROX <= UB <= Σ a_max.
+  EXPECT_GE(approx.totalAccuracy, inst.totalAmin() - 1e-9);
+  EXPECT_LE(approx.totalAccuracy, approx.upperBound + 1e-6);
+  EXPECT_LE(approx.upperBound, inst.totalAmax() + 1e-9);
+  EXPECT_LE(edf.totalAccuracy, approx.upperBound + 1e-6);
+  EXPECT_LE(edf3.totalAccuracy, approx.upperBound + 1e-6);
+  EXPECT_LE(edfOpt.totalAccuracy, approx.upperBound + 1e-6);
+
+  // Approximation guarantee.
+  EXPECT_GE(approx.totalAccuracy,
+            approx.upperBound - approx.guarantee.g - 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RhoBetaModes, PipelineGrid,
+    ::testing::Combine(::testing::Values(0.01, 0.1, 0.5, 2.0),
+                       ::testing::Values(0.0, 0.1, 0.5, 1.0),
+                       ::testing::Values(BudgetMode::kHorizonPower,
+                                         BudgetMode::kWorkloadEnergy)));
+
+}  // namespace
+}  // namespace dsct

@@ -1,0 +1,65 @@
+#include "sched/render.h"
+
+#include <gtest/gtest.h>
+
+#include "sched/approx.h"
+#include "tests/test_support.h"
+#include "util/check.h"
+
+namespace dsct {
+namespace {
+
+using testing::randomInstance;
+using testing::tinyInstance;
+
+TEST(RenderGantt, ShowsMachinesAndTasks) {
+  const Instance inst = tinyInstance(1e9);
+  const IntegralSchedule s = IntegralSchedule::build(inst, {0, 1}, {0.5, 1.0});
+  const std::string out = renderGantt(inst, s);
+  EXPECT_NE(out.find("m0"), std::string::npos);
+  EXPECT_NE(out.find("m1"), std::string::npos);
+  // Task ids appear in the lanes.
+  EXPECT_NE(out.find('0'), std::string::npos);
+  EXPECT_NE(out.find('1'), std::string::npos);
+  // Accuracy summary appended by default.
+  EXPECT_NE(out.find("tasks:"), std::string::npos);
+}
+
+TEST(RenderGantt, WidthRespected) {
+  const Instance inst = tinyInstance(1e9);
+  const IntegralSchedule s = IntegralSchedule::build(inst, {0, 0}, {0.5, 0.5});
+  RenderOptions options;
+  options.width = 30;
+  options.showAccuracy = false;
+  const std::string out = renderGantt(inst, s, options);
+  // Each machine line: 14 name + " |" + width + "|\n".
+  const std::size_t firstLine = out.find('\n');
+  ASSERT_NE(firstLine, std::string::npos);
+  EXPECT_EQ(firstLine, 14u + 2u + 30u + 1u);
+  EXPECT_EQ(out.find("tasks:"), std::string::npos);
+}
+
+TEST(RenderGantt, EmptyScheduleStillRenders) {
+  const Instance inst = tinyInstance(1e9);
+  const IntegralSchedule s = IntegralSchedule::build(inst, {-1, -1}, {0, 0});
+  const std::string out = renderGantt(inst, s);
+  EXPECT_NE(out.find("m0"), std::string::npos);
+}
+
+TEST(RenderGantt, RejectsSillyWidth) {
+  const Instance inst = tinyInstance(1e9);
+  const IntegralSchedule s = IntegralSchedule::build(inst, {-1, -1}, {0, 0});
+  RenderOptions options;
+  options.width = 2;
+  EXPECT_THROW(renderGantt(inst, s, options), CheckError);
+}
+
+TEST(RenderGantt, HandlesRealSchedules) {
+  const Instance inst = randomInstance(8, 12, 3);
+  const ApproxResult res = solveApprox(inst);
+  const std::string out = renderGantt(inst, res.schedule);
+  EXPECT_GT(out.size(), 100u);
+}
+
+}  // namespace
+}  // namespace dsct

@@ -1,0 +1,53 @@
+#include "experiments/report.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace dsct {
+namespace {
+
+TEST(MarkdownTable, RendersHeaderSeparatorAndRows) {
+  const std::string table =
+      markdownTable({"a", "b"}, {{1.0, 2.5}, {3.0, 4.25}}, 2);
+  EXPECT_NE(table.find("| a | b |"), std::string::npos);
+  EXPECT_NE(table.find("|---|---|"), std::string::npos);
+  EXPECT_NE(table.find("| 1.00 | 2.50 |"), std::string::npos);
+  EXPECT_NE(table.find("| 3.00 | 4.25 |"), std::string::npos);
+}
+
+TEST(MarkdownTable, RejectsArityMismatch) {
+  EXPECT_THROW(markdownTable({"a"}, {{1.0, 2.0}}), CheckError);
+}
+
+TEST(GenerateReport, SectionsToggle) {
+  ExperimentRunner runner;
+  ReportConfig config;
+  config.includeFig3 = false;
+  config.includeFig4 = false;
+  config.includeTable1 = false;
+  config.includeFig5 = true;
+  config.includeFig6 = false;
+  const std::string report = generateReport(config, runner);
+  EXPECT_EQ(report.find("Fig. 3"), std::string::npos);
+  EXPECT_EQ(report.find("Fig. 4a"), std::string::npos);
+  EXPECT_EQ(report.find("Table 1"), std::string::npos);
+  EXPECT_NE(report.find("Fig. 5"), std::string::npos);
+  EXPECT_NE(report.find("energy-gain headline"), std::string::npos);
+}
+
+TEST(GenerateReport, Fig6SectionsBothScenarios) {
+  ExperimentRunner runner;
+  ReportConfig config;
+  config.includeFig3 = false;
+  config.includeFig4 = false;
+  config.includeTable1 = false;
+  config.includeFig5 = false;
+  config.includeFig6 = true;
+  const std::string report = generateReport(config, runner);
+  EXPECT_NE(report.find("Fig. 6a"), std::string::npos);
+  EXPECT_NE(report.find("Fig. 6b"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dsct

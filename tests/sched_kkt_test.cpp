@@ -1,0 +1,124 @@
+// The KKT optimality-condition checker must accept optimal solutions and
+// reject constructed suboptimal ones.
+#include "sched/kkt.h"
+
+#include <gtest/gtest.h>
+
+#include "sched/energy_profile.h"
+#include "sched/fr_opt.h"
+#include "tests/test_support.h"
+#include "util/rng.h"
+
+namespace dsct {
+namespace {
+
+using testing::randomInstance;
+using testing::twoSegment;
+
+Instance twoTaskTwoMachine(double budget) {
+  std::vector<Task> tasks{
+      Task{2.0, twoSegment(0.0, 0.8, 2.0), "steep"},
+      Task{2.0, twoSegment(0.0, 0.4, 2.0), "shallow"},
+  };
+  std::vector<Machine> machines{
+      Machine{1.0, 0.10, "efficient"},
+      Machine{1.0, 0.02, "wasteful"},
+  };
+  return Instance(std::move(tasks), std::move(machines), budget);
+}
+
+TEST(Kkt, AcceptsEmptySchedule) {
+  // All-zero schedule with zero budget is trivially optimal.
+  const Instance inst = twoTaskTwoMachine(0.0);
+  const FractionalSchedule zero(2, 2);
+  EXPECT_TRUE(checkKkt(inst, zero).satisfied);
+}
+
+TEST(Kkt, FlagsLeftoverBudget) {
+  // Zero schedule with plenty of budget: condition 3 must fire.
+  const Instance inst = twoTaskTwoMachine(50.0);
+  const FractionalSchedule zero(2, 2);
+  const KktReport report = checkKkt(inst, zero);
+  EXPECT_FALSE(report.satisfied);
+  EXPECT_NE(report.summary().find("leftover"), std::string::npos);
+}
+
+TEST(Kkt, FlagsSameMachineMisordering) {
+  // Put all time on the shallow task while the steep task starves, with a
+  // tight budget so condition 3 stays silent: the energy-move condition
+  // must fire instead.
+  const Instance inst = twoTaskTwoMachine(5.0);
+  FractionalSchedule s(2, 2);
+  s.set(1, 0, 0.5);  // 0.5 s * 10 W = 5 J on the shallow task
+  const KktReport report = checkKkt(inst, s);
+  EXPECT_FALSE(report.satisfied);
+}
+
+TEST(Kkt, FlagsWastefulMachineChoice) {
+  // Same total energy spent, but on the wasteful machine while the
+  // efficient one sits idle with deadline slack.
+  const Instance inst = twoTaskTwoMachine(5.0);
+  FractionalSchedule s(2, 2);
+  s.set(0, 1, 0.1);  // 0.1 s * 50 W = 5 J on the wasteful machine
+  const KktReport report = checkKkt(inst, s);
+  EXPECT_FALSE(report.satisfied);
+  EXPECT_GT(report.worstImprovement, 0.0);
+}
+
+TEST(Kkt, AcceptsFrOptAcrossBudgets) {
+  for (double beta : {0.05, 0.3, 0.7, 1.0}) {
+    const Instance inst = randomInstance(
+        deriveSeed(31, static_cast<std::uint64_t>(beta * 100)), 10, 3, 0.3,
+        beta, 0.1, 2.0);
+    const FrOptResult fr = solveFrOpt(inst);
+    KktOptions options;
+    options.gainTol = 2e-4;
+    const KktReport report = checkKkt(inst, fr.schedule, options);
+    EXPECT_TRUE(report.satisfied) << "beta " << beta << "\n"
+                                  << report.summary();
+  }
+}
+
+TEST(Kkt, PerturbedOptimumIsRejected) {
+  // Take the optimum and move a chunk of time from the steep task to the
+  // shallow one; the checker must notice.
+  const Instance inst = twoTaskTwoMachine(6.0);
+  FrOptResult fr = solveFrOpt(inst);
+  ASSERT_TRUE(checkKkt(inst, fr.schedule).satisfied);
+  FractionalSchedule& s = fr.schedule;
+  const double steal = 0.3;
+  if (s.at(0, 0) > steal) {
+    s.set(0, 0, s.at(0, 0) - steal);
+    s.add(1, 0, steal);
+    const KktReport report = checkKkt(inst, s);
+    EXPECT_FALSE(report.satisfied);
+  }
+}
+
+TEST(EnergyMarginals, MatchPaperDefinitions) {
+  // ψ = E_r · slope at the current allocation; gain uses the right slope,
+  // loss the left slope, diverging exactly at breakpoints.
+  const Instance inst = twoTaskTwoMachine(1e9);
+  FractionalSchedule s(2, 2);
+  s.set(0, 0, 1.0);  // 1 TFLOP: exactly at the breakpoint of twoSegment
+  // twoSegment(0, 0.8, 2): slopes 0.6 then 0.2; breakpoint at f = 1.
+  EXPECT_DOUBLE_EQ(energyMarginalLoss(inst, s, 0, 0), 0.10 * 0.6);
+  EXPECT_DOUBLE_EQ(energyMarginalGain(inst, s, 0, 0), 0.10 * 0.2);
+  // Same task priced on the wasteful machine: scaled by its efficiency.
+  EXPECT_DOUBLE_EQ(energyMarginalGain(inst, s, 0, 1), 0.02 * 0.2);
+  // Untouched task: gain == loss == first slope.
+  EXPECT_DOUBLE_EQ(energyMarginalGain(inst, s, 1, 0),
+                   energyMarginalLoss(inst, s, 1, 0));
+}
+
+TEST(Kkt, ReportSummaryFormats) {
+  KktReport report;
+  EXPECT_EQ(report.summary(), "KKT satisfied");
+  report.addFailure("example failure", 0.5);
+  EXPECT_FALSE(report.satisfied);
+  EXPECT_NE(report.summary().find("example failure"), std::string::npos);
+  EXPECT_DOUBLE_EQ(report.worstImprovement, 0.5);
+}
+
+}  // namespace
+}  // namespace dsct

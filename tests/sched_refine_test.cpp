@@ -1,0 +1,136 @@
+// Dedicated tests for RefineProfile (Algorithm 3) and solveForProfile (the
+// generalised Algorithm 2 core).
+#include "sched/refine_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "sched/fr_opt.h"
+#include "sched/naive_solution.h"
+#include "sched/validator.h"
+#include "tests/test_support.h"
+#include "util/rng.h"
+
+namespace dsct {
+namespace {
+
+using testing::randomInstance;
+using testing::twoSegment;
+
+TEST(SolveForProfile, RespectsProfileCaps) {
+  Rng rng(77);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Instance inst = randomInstance(deriveSeed(71, trial), 10, 3,
+                                         rng.uniform(0.05, 0.8), 0.9);
+    EnergyProfile profile;
+    for (int r = 0; r < inst.numMachines(); ++r) {
+      profile.push_back(rng.uniform(0.0, inst.maxDeadline()));
+    }
+    const FractionalSchedule s = solveForProfile(inst, profile);
+    for (int r = 0; r < inst.numMachines(); ++r) {
+      EXPECT_LE(s.machineLoad(r), profile[static_cast<std::size_t>(r)] + 1e-9)
+          << "machine " << r << " trial " << trial;
+    }
+    // Deadlines always hold regardless of the profile.
+    for (int r = 0; r < inst.numMachines(); ++r) {
+      double prefix = 0.0;
+      for (int j = 0; j < inst.numTasks(); ++j) {
+        prefix += s.at(j, r);
+        EXPECT_LE(prefix, inst.task(j).deadline + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(SolveForProfile, MonotoneInProfile) {
+  // Growing any machine's cap can only improve total accuracy.
+  Rng rng(78);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Instance inst =
+        randomInstance(deriveSeed(72, trial), 8, 2, 0.1, 0.9);
+    EnergyProfile small;
+    for (int r = 0; r < inst.numMachines(); ++r) {
+      small.push_back(rng.uniform(0.0, 0.5 * inst.maxDeadline()));
+    }
+    EnergyProfile large = small;
+    const int grow = rng.uniformInt(0, inst.numMachines() - 1);
+    large[static_cast<std::size_t>(grow)] = inst.maxDeadline();
+    EXPECT_GE(solveForProfile(inst, large).totalAccuracy(inst),
+              solveForProfile(inst, small).totalAccuracy(inst) - 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(SolveForProfile, ZeroProfileGivesFloor) {
+  const Instance inst = randomInstance(3, 6, 3);
+  const EnergyProfile zeros(static_cast<std::size_t>(inst.numMachines()), 0.0);
+  const FractionalSchedule s = solveForProfile(inst, zeros);
+  EXPECT_NEAR(s.totalAccuracy(inst), inst.totalAmin(), 1e-12);
+}
+
+TEST(SolveForProfile, FullProfileMatchesDeadlineOnlyOptimum) {
+  // Profile == horizon on every machine removes the energy constraint.
+  const Instance inst = randomInstance(4, 8, 3, 0.2, 1.0);
+  const EnergyProfile full(static_cast<std::size_t>(inst.numMachines()),
+                           inst.maxDeadline());
+  const double capAcc = solveForProfile(inst, full).totalAccuracy(inst);
+  // Compare with FR-OPT on a copy with unlimited budget.
+  Instance unconstrained(inst.tasks(), inst.machines(), 1e15);
+  const double freeAcc = solveFrOpt(unconstrained).totalAccuracy;
+  EXPECT_NEAR(capAcc, freeAcc, 1e-6);
+}
+
+TEST(RefineProfile, EnergyConservedExactly) {
+  for (int trial = 0; trial < 10; ++trial) {
+    const Instance inst = randomInstance(deriveSeed(73, trial), 12, 3,
+                                         0.05, 0.4, 0.1, 4.9);
+    NaiveSolution naive = computeNaiveSolution(inst);
+    const double before = naive.schedule.energy(inst);
+    refineProfile(inst, naive.schedule);
+    const double after = naive.schedule.energy(inst);
+    // Transfers conserve energy to numerical precision.
+    EXPECT_NEAR(after, before, 1e-6 * std::max(1.0, before))
+        << "trial " << trial;
+  }
+}
+
+TEST(RefineProfile, NoTransfersWhenAlreadyOptimal) {
+  // A generous instance where the naive solution is already optimal: every
+  // task fully processed.
+  std::vector<Task> tasks{Task{10.0, twoSegment(0.0, 0.8, 1.0), "t"}};
+  std::vector<Machine> machines{Machine{1.0, 1.0, "m"}};
+  Instance inst(std::move(tasks), std::move(machines), 1e9);
+  NaiveSolution naive = computeNaiveSolution(inst);
+  const RefineStats stats = refineProfile(inst, naive.schedule);
+  EXPECT_EQ(stats.transfers, 0);
+}
+
+TEST(RefineProfile, MovesWorkTowardEfficientMachine) {
+  // Two machines, same speed, very different efficiency; single task with
+  // slack. Start from a hand-built schedule on the inefficient machine;
+  // refinement must shift it to the efficient one (ψ ordering).
+  std::vector<Task> tasks{Task{2.0, twoSegment(0.0, 0.8, 4.0), "t"}};
+  std::vector<Machine> machines{
+      Machine{1.0, 0.10, "efficient"},
+      Machine{1.0, 0.01, "wasteful"},
+  };
+  Instance inst(std::move(tasks), std::move(machines), 30.0);
+  FractionalSchedule s(1, 2);
+  s.set(0, 1, 0.3);  // 0.3 s on the wasteful machine: 30 J, budget exhausted
+  const double before = s.totalAccuracy(inst);
+  refineProfile(inst, s);
+  EXPECT_GT(s.totalAccuracy(inst), before);
+  EXPECT_GT(s.at(0, 0), 0.0);  // moved to the efficient machine
+  EXPECT_LT(s.energy(inst), 30.0 + 1e-9);
+}
+
+TEST(RefineProfile, RoundsBounded) {
+  const Instance inst = randomInstance(99, 20, 4, 0.02, 0.3, 0.1, 4.9);
+  NaiveSolution naive = computeNaiveSolution(inst);
+  RefineOptions options;
+  options.maxRounds = 3;
+  const RefineStats stats = refineProfile(inst, naive.schedule, options);
+  EXPECT_LE(stats.rounds, 3);
+}
+
+}  // namespace
+}  // namespace dsct

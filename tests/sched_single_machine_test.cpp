@@ -1,0 +1,175 @@
+#include "sched/single_machine.h"
+
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mipmodel/dsct_lp.h"
+#include "solver/simplex.h"
+#include "tests/test_support.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace dsct {
+namespace {
+
+using testing::twoSegment;
+
+TEST(SegmentJobs, FlattensAccuracyFunctions) {
+  const std::vector<Task> tasks{Task{1.0, twoSegment(0.0, 0.8, 2.0), ""}};
+  const auto segs = makeSegmentJobs(tasks);
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0].task, 0);
+  EXPECT_EQ(segs[0].position, 0);
+  EXPECT_DOUBLE_EQ(segs[0].slope, 0.6);  // 0.75*0.8 over half the range
+  EXPECT_DOUBLE_EQ(segs[0].flops, 1.0);
+  EXPECT_DOUBLE_EQ(segs[1].slope, 0.2);
+}
+
+TEST(SingleMachine, OneTaskFullyProcessedWhenTimeAllows) {
+  const std::vector<Task> tasks{Task{10.0, twoSegment(0.0, 0.8, 2.0), ""}};
+  const auto t = scheduleSingleMachine(tasks, 1.0);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_DOUBLE_EQ(t[0], 2.0);  // fmax / speed
+}
+
+TEST(SingleMachine, DeadlineCapsProcessing) {
+  const std::vector<Task> tasks{Task{0.5, twoSegment(0.0, 0.8, 2.0), ""}};
+  const auto t = scheduleSingleMachine(tasks, 1.0);
+  EXPECT_DOUBLE_EQ(t[0], 0.5);
+}
+
+TEST(SingleMachine, SpeedScalesTime) {
+  const std::vector<Task> tasks{Task{10.0, twoSegment(0.0, 0.8, 2.0), ""}};
+  const auto t = scheduleSingleMachine(tasks, 4.0);
+  EXPECT_DOUBLE_EQ(t[0], 0.5);
+}
+
+TEST(SingleMachine, PrioritisesSteeperTask) {
+  // Two tasks share deadline 1.0; task 1 is steeper, so it should receive
+  // the time.
+  const std::vector<Task> tasks{
+      Task{1.0, PiecewiseLinearAccuracy::linear(0.0, 0.2, 2.0), "shallow"},
+      Task{1.0, PiecewiseLinearAccuracy::linear(0.0, 0.8, 2.0), "steep"},
+  };
+  const auto t = scheduleSingleMachine(tasks, 1.0);
+  EXPECT_DOUBLE_EQ(t[0], 0.0);
+  EXPECT_DOUBLE_EQ(t[1], 1.0);
+}
+
+TEST(SingleMachine, LaterDeadlineAddsSlack) {
+  // Task 0 (steep, d=1) fills [0,1]; task 1 (shallow, d=3) still gets 2s.
+  const std::vector<Task> tasks{
+      Task{1.0, PiecewiseLinearAccuracy::linear(0.0, 0.8, 2.0), "steep"},
+      Task{3.0, PiecewiseLinearAccuracy::linear(0.0, 0.2, 2.0), "shallow"},
+  };
+  const auto t = scheduleSingleMachine(tasks, 1.0);
+  EXPECT_DOUBLE_EQ(t[0], 1.0);
+  EXPECT_DOUBLE_EQ(t[1], 2.0);
+}
+
+TEST(SingleMachine, EarlierTaskConstrainedByOwnDeadline) {
+  // Steep task has the *later* deadline; shallow early task can only use
+  // what the steep one leaves before its own deadline... here the steep
+  // task (d=2) is scheduled first by slope; the shallow task (d=1) then
+  // fits into the remaining prefix room.
+  const std::vector<Task> tasks{
+      Task{1.0, PiecewiseLinearAccuracy::linear(0.0, 0.2, 5.0), "shallow"},
+      Task{2.0, PiecewiseLinearAccuracy::linear(0.0, 0.8, 1.0), "steep"},
+  };
+  const auto t = scheduleSingleMachine(tasks, 1.0);
+  // Steep needs 1s anywhere before d=2. Shallow can then use up to
+  // min(d_0 - t_0, d_1 - t_0 - t_1) = min(1 - t_0, 1) of its prefix.
+  EXPECT_DOUBLE_EQ(t[1], 1.0);
+  EXPECT_DOUBLE_EQ(t[0], 1.0);
+}
+
+TEST(SingleMachine, ZeroDeadlinesGiveZeroTimes) {
+  const std::vector<Task> tasks{
+      Task{0.0, twoSegment(), "a"},
+      Task{0.0, twoSegment(), "b"},
+  };
+  const auto t = scheduleSingleMachine(tasks, 1.0);
+  EXPECT_DOUBLE_EQ(t[0], 0.0);
+  EXPECT_DOUBLE_EQ(t[1], 0.0);
+}
+
+TEST(SingleMachine, EmptyInput) {
+  const std::vector<Task> tasks;
+  EXPECT_TRUE(scheduleSingleMachine(tasks, 1.0).empty());
+}
+
+TEST(SingleMachine, RejectsBadArguments) {
+  const std::vector<Task> tasks{Task{1.0, twoSegment(), ""}};
+  EXPECT_THROW(scheduleSingleMachine(tasks, 0.0), CheckError);
+  std::vector<double> unsorted{2.0, 1.0};
+  EXPECT_THROW(
+      scheduleSingleMachine(unsorted, 1.0, std::vector<SegmentJob>{}),
+      CheckError);
+  std::vector<double> ok{1.0};
+  EXPECT_THROW(scheduleSingleMachine(
+                   ok, 1.0, std::vector<SegmentJob>{{7, 0, 0.1, 1.0}}),
+               CheckError);
+}
+
+TEST(SingleMachine, PrefixConstraintsHold) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = rng.uniformInt(1, 12);
+    std::vector<Task> tasks;
+    double d = 0.0;
+    for (int j = 0; j < n; ++j) {
+      d += rng.uniform(0.0, 1.0);
+      tasks.push_back(Task{d, twoSegment(0.0, rng.uniform(0.3, 0.9),
+                                         rng.uniform(0.5, 4.0)),
+                           ""});
+    }
+    const auto t = scheduleSingleMachine(tasks, rng.uniform(0.5, 3.0));
+    double prefix = 0.0;
+    for (int j = 0; j < n; ++j) {
+      prefix += t[static_cast<std::size_t>(j)];
+      EXPECT_LE(prefix, tasks[static_cast<std::size_t>(j)].deadline + 1e-9);
+    }
+  }
+}
+
+// The load-bearing test: Algorithm 1 must match the LP optimum on random
+// single-machine instances (energy budget disabled).
+class SingleMachineVsLp : public ::testing::TestWithParam<int> {};
+
+TEST_P(SingleMachineVsLp, MatchesLpOptimum) {
+  const std::uint64_t seed =
+      deriveSeed(777, static_cast<std::uint64_t>(GetParam()));
+  Rng rng(seed);
+  const int n = rng.uniformInt(2, 10);
+  std::vector<Task> tasks;
+  double d = 0.0;
+  for (int j = 0; j < n; ++j) {
+    d += rng.uniform(0.05, 1.0);
+    tasks.push_back(Task{
+        d, makePaperAccuracy(0.001, 0.82, rng.uniform(0.2, 3.0), 4), ""});
+  }
+  const double speed = rng.uniform(0.5, 4.0);
+  std::vector<Machine> machines{Machine{speed, 1.0, "solo"}};
+  // Huge budget: energy constraint inactive, matching Algorithm 1's scope.
+  Instance inst(tasks, machines, 1e12);
+
+  const auto t = scheduleSingleMachine(inst.tasks(), speed);
+  double accuracy = 0.0;
+  for (int j = 0; j < n; ++j) {
+    accuracy += inst.task(j).accuracy.value(speed * t[static_cast<std::size_t>(j)]);
+  }
+
+  const DsctLp lpModel = buildFractionalLp(inst);
+  const lp::LpResult lpRes = lp::solveLp(lpModel.model);
+  ASSERT_EQ(lpRes.status, lp::SolveStatus::kOptimal) << "seed " << seed;
+  EXPECT_NEAR(accuracy, lpRes.objective, 1e-6) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, SingleMachineVsLp,
+                         ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace dsct

@@ -1,0 +1,75 @@
+// Dedicated tests for the budget top-up refinement of Algorithm 5 (the
+// rounding post-pass documented in approx.cpp / DESIGN.md).
+#include <gtest/gtest.h>
+
+#include "sched/approx.h"
+#include "sched/validator.h"
+#include "tests/test_support.h"
+#include "util/rng.h"
+
+namespace dsct {
+namespace {
+
+using testing::randomInstance;
+using testing::twoSegment;
+
+TEST(TopUp, SpendsLeftoverBudgetOnHighestPsi) {
+  // Two tasks on one machine, plenty of deadline room, budget for ~1 TFLOP
+  // beyond the fractional quota. The steeper task must receive the top-up.
+  std::vector<Task> tasks{
+      Task{10.0, twoSegment(0.0, 0.8, 2.0), "steep"},   // θ = 0.6
+      Task{10.0, twoSegment(0.0, 0.4, 2.0), "shallow"}, // θ = 0.3
+  };
+  std::vector<Machine> machines{Machine{1.0, 0.05, "m"}};  // 20 W
+  Instance inst(std::move(tasks), std::move(machines), 80.0);  // 4 s of work
+  const ApproxResult res = solveApprox(inst);
+  // 4 s at 1 TFLOPS fully processes both tasks (2 + 2 TFLOP).
+  EXPECT_NEAR(res.totalAccuracy, 1.2, 1e-6);
+  EXPECT_TRUE(validate(inst, res.schedule).feasible);
+}
+
+TEST(TopUp, GrowsDroppedTasksWhenSlackExists) {
+  // A zero fractional schedule (the top-up's worst-case input): tasks must
+  // still be placed and grown within budget and deadlines.
+  const Instance inst = randomInstance(3, 6, 2, 0.5, 0.8);
+  const FractionalSchedule zero(inst.numTasks(), inst.numMachines());
+  const IntegralSchedule s = roundFractional(inst, zero);
+  EXPECT_GT(s.totalAccuracy(inst), inst.totalAmin());
+  EXPECT_TRUE(validate(inst, s).feasible);
+}
+
+TEST(TopUp, NeverExceedsBudgetUnderSweep) {
+  for (int trial = 0; trial < 15; ++trial) {
+    Rng rng(deriveSeed(321, trial));
+    const Instance inst =
+        randomInstance(deriveSeed(322, trial), 12, 3,
+                       rng.uniform(0.02, 1.0), rng.uniform(0.05, 1.0),
+                       0.1, 4.9);
+    const ApproxResult res = solveApprox(inst);
+    EXPECT_LE(res.energy, inst.energyBudget() + 1e-6) << "trial " << trial;
+    EXPECT_TRUE(validate(inst, res.schedule).feasible) << "trial " << trial;
+  }
+}
+
+TEST(TopUp, ImprovesOnQuotaOnlyRounding) {
+  // Compare full solveApprox against the rounding applied to the same
+  // fractional solution with the top-up disabled-by-construction (a
+  // schedule whose loads already exhaust the budget is a fixed point, so
+  // instead verify: accuracy after top-up >= accuracy of the quota-capped
+  // phase for a generous instance where quotas bind).
+  const Instance inst = randomInstance(17, 10, 3, 2.0, 1.0);
+  const ApproxResult res = solveApprox(inst);
+  // In the generous regime the top-up must reach every task's a_max.
+  EXPECT_NEAR(res.totalAccuracy, inst.totalAmax(), 1e-5);
+}
+
+TEST(TopUp, RespectsDeadlinesWhenBudgetIsHuge) {
+  // Budget enormous, deadlines tight: the top-up's only cap is slack.
+  const Instance inst = randomInstance(23, 8, 2, 0.01, 1.0, 0.1, 4.9);
+  Instance rich(inst.tasks(), inst.machines(), 1e12);
+  const ApproxResult res = solveApprox(rich);
+  EXPECT_TRUE(validate(rich, res.schedule).feasible);
+}
+
+}  // namespace
+}  // namespace dsct

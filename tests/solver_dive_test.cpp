@@ -1,0 +1,88 @@
+// Root-dive heuristic of the branch-and-bound solver.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "mipmodel/dsct_mip.h"
+#include "solver/mip.h"
+#include "solver/model.h"
+#include "tests/test_support.h"
+#include "util/rng.h"
+
+namespace dsct::lp {
+namespace {
+
+TEST(RootDive, DoesNotChangeOptimalResult) {
+  Rng rng(64);
+  for (int trial = 0; trial < 8; ++trial) {
+    Model m;
+    m.setMaximize(true);
+    const int n = rng.uniformInt(4, 9);
+    std::vector<std::pair<int, double>> row;
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const int v = m.addBinary(rng.uniform(0.5, 5.0));
+      const double w = rng.uniform(0.5, 5.0);
+      row.emplace_back(v, w);
+      total += w;
+    }
+    m.addConstraint(std::move(row), Sense::kLe, 0.5 * total);
+    MipOptions plain;
+    MipOptions diving;
+    diving.rootDive = true;
+    const MipResult a = solveMip(m, plain);
+    const MipResult b = solveMip(m, diving);
+    ASSERT_EQ(a.status, SolveStatus::kOptimal);
+    ASSERT_EQ(b.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(a.objective, b.objective, 1e-7) << "trial " << trial;
+  }
+}
+
+TEST(RootDive, SeedsIncumbentUnderNodeLimit) {
+  // With one node and no dive the search usually ends empty-handed on a
+  // fractional root; the dive provides a feasible incumbent anyway.
+  Rng rng(65);
+  Model m;
+  m.setMaximize(true);
+  std::vector<std::pair<int, double>> row;
+  for (int i = 0; i < 20; ++i) {
+    row.emplace_back(m.addBinary(rng.uniform(1.0, 9.0)),
+                     rng.uniform(1.0, 9.0));
+  }
+  m.addConstraint(row, Sense::kLe, 30.0);
+  MipOptions options;
+  options.maxNodes = 1;
+  options.rootDive = true;
+  const MipResult res = solveMip(m, options);
+  EXPECT_TRUE(res.hasSolution);
+  EXPECT_GT(res.objective, 0.0);
+  EXPECT_TRUE(m.isFeasible(res.x, 1e-6));
+}
+
+TEST(RootDive, WorksOnDsctMip) {
+  const Instance inst = dsct::testing::randomInstance(7, 8, 2, 0.05, 0.4,
+                                                      0.1, 3.0);
+  DsctMip mip = buildMip(inst);
+  MipOptions options;
+  options.rootDive = true;
+  options.timeLimitSeconds = 10.0;
+  const MipResult res = solveMip(mip.model, options);
+  EXPECT_TRUE(res.hasSolution);
+  EXPECT_TRUE(mip.model.isFeasible(res.x, 1e-5));
+}
+
+TEST(RootDive, IgnoredWhenWarmStartProvided) {
+  Model m;
+  m.setMaximize(true);
+  const int a = m.addBinary(1.0);
+  m.addConstraint({{a, 1.0}}, Sense::kLe, 1.0);
+  MipOptions options;
+  options.rootDive = true;
+  options.initialSolution = std::vector<double>{0.0};  // feasible, obj 0
+  const MipResult res = solveMip(m, options);
+  ASSERT_EQ(res.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(res.objective, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dsct::lp

@@ -1,0 +1,125 @@
+// Solver edge cases: duplicate coefficients, zero rows, negative-rhs
+// equalities, pathological bounds.
+#include <gtest/gtest.h>
+
+#include "solver/mip.h"
+#include "solver/model.h"
+#include "solver/simplex.h"
+#include "util/check.h"
+
+namespace dsct::lp {
+namespace {
+
+TEST(Edge, DuplicateVariableIndicesAccumulate) {
+  // x + x <= 4 must behave as 2x <= 4.
+  Model m;
+  m.setMaximize(true);
+  const int x = m.addVariable(0, kInfinity, 1.0);
+  m.addConstraint({{x, 1.0}, {x, 1.0}}, Sense::kLe, 4.0);
+  const LpResult res = solveLp(m);
+  ASSERT_EQ(res.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(res.objective, 2.0, 1e-9);
+}
+
+TEST(Edge, ZeroCoefficientEntriesIgnored) {
+  Model m;
+  m.setMaximize(true);
+  const int x = m.addVariable(0, kInfinity, 1.0);
+  const int y = m.addVariable(0, 5.0, 0.0);
+  m.addConstraint({{x, 1.0}, {y, 0.0}}, Sense::kLe, 3.0);
+  const LpResult res = solveLp(m);
+  ASSERT_EQ(res.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(res.objective, 3.0, 1e-9);
+}
+
+TEST(Edge, NegativeRhsEquality) {
+  // x − y == −2 with x, y >= 0: minimise x + y → (0, 2).
+  Model m;
+  const int x = m.addVariable(0, kInfinity, 1.0);
+  const int y = m.addVariable(0, kInfinity, 1.0);
+  m.addConstraint({{x, 1.0}, {y, -1.0}}, Sense::kEq, -2.0);
+  const LpResult res = solveLp(m);
+  ASSERT_EQ(res.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(res.objective, 2.0, 1e-9);
+  EXPECT_NEAR(res.x[0], 0.0, 1e-9);
+  EXPECT_NEAR(res.x[1], 2.0, 1e-9);
+}
+
+TEST(Edge, AllVariablesFixed) {
+  Model m;
+  m.setMaximize(true);
+  m.addVariable(2.0, 2.0, 3.0);
+  m.addVariable(-1.0, -1.0, 1.0);
+  const LpResult res = solveLp(m);
+  ASSERT_EQ(res.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(res.objective, 5.0, 1e-12);
+  EXPECT_DOUBLE_EQ(res.x[0], 2.0);
+  EXPECT_DOUBLE_EQ(res.x[1], -1.0);
+}
+
+TEST(Edge, FixedVariablesInsideConstraints) {
+  // x fixed at 3 participates in a row constraining y.
+  Model m;
+  m.setMaximize(true);
+  const int x = m.addVariable(3.0, 3.0, 0.0);
+  const int y = m.addVariable(0, kInfinity, 1.0);
+  m.addConstraint({{x, 2.0}, {y, 1.0}}, Sense::kLe, 10.0);  // y <= 4
+  const LpResult res = solveLp(m);
+  ASSERT_EQ(res.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(res.objective, 4.0, 1e-9);
+}
+
+TEST(Edge, MaximiseNegativeObjective) {
+  // max −x with x >= 1 → −1.
+  Model m;
+  m.setMaximize(true);
+  m.addVariable(1.0, kInfinity, -1.0);
+  const LpResult res = solveLp(m);
+  ASSERT_EQ(res.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(res.objective, -1.0, 1e-9);
+}
+
+TEST(Edge, ModelValidationRejectsBadInput) {
+  Model m;
+  EXPECT_THROW(m.addVariable(2.0, 1.0, 0.0), CheckError);  // inverted bounds
+  EXPECT_THROW(m.addVariable(0.0, 2.0, 0.0, VarType::kBinary), CheckError);
+  const int x = m.addVariable(0.0, 1.0, 1.0);
+  EXPECT_THROW(m.addConstraint({{x + 5, 1.0}}, Sense::kLe, 1.0), CheckError);
+  EXPECT_THROW(m.variable(7), CheckError);
+  EXPECT_THROW(m.constraint(0), CheckError);
+}
+
+TEST(Edge, MaxViolationMeasuresWorstBreach) {
+  Model m;
+  const int x = m.addVariable(0.0, 1.0, 1.0);
+  m.addConstraint({{x, 1.0}}, Sense::kGe, 3.0);
+  const std::vector<double> point{0.5};
+  EXPECT_NEAR(m.maxViolation(point), 2.5, 1e-12);
+  EXPECT_FALSE(m.isFeasible(point));
+}
+
+TEST(Edge, MipWithOnlyContinuousVariablesIsLp) {
+  Model m;
+  m.setMaximize(true);
+  const int x = m.addVariable(0, 2.5, 2.0);
+  m.addConstraint({{x, 1.0}}, Sense::kLe, 2.0);
+  const MipResult res = solveMip(m);
+  ASSERT_EQ(res.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(res.objective, 4.0, 1e-9);
+  EXPECT_EQ(res.nodes, 1);
+}
+
+TEST(Edge, BinaryFixedByBoundsRespected) {
+  Model m;
+  m.setMaximize(true);
+  const int a = m.addVariable(1.0, 1.0, 1.0, VarType::kBinary);
+  const int b = m.addBinary(1.0);
+  m.addConstraint({{a, 1.0}, {b, 1.0}}, Sense::kLe, 1.0);
+  const MipResult res = solveMip(m);
+  ASSERT_EQ(res.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(res.x[0], 1.0, 1e-9);
+  EXPECT_NEAR(res.x[1], 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dsct::lp

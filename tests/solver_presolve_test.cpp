@@ -1,0 +1,145 @@
+#include "solver/presolve.h"
+
+#include <gtest/gtest.h>
+
+#include "mipmodel/dsct_lp.h"
+#include "solver/simplex.h"
+#include "tests/test_support.h"
+#include "util/rng.h"
+
+namespace dsct::lp {
+namespace {
+
+TEST(Presolve, SingletonLeRowBecomesUpperBound) {
+  Model m;
+  m.setMaximize(true);
+  const int x = m.addVariable(0, kInfinity, 1.0);
+  m.addConstraint({{x, 2.0}}, Sense::kLe, 6.0);  // x <= 3
+  const PresolveResult pre = presolve(m);
+  EXPECT_FALSE(pre.infeasible);
+  EXPECT_EQ(pre.rowsEliminated, 1);
+  EXPECT_DOUBLE_EQ(pre.upper[0], 3.0);
+  EXPECT_EQ(pre.reduced.numConstraints(), 0);
+}
+
+TEST(Presolve, SingletonGeAndNegativeCoefficient) {
+  Model m;
+  const int x = m.addVariable(0, 10.0, 1.0);
+  m.addConstraint({{x, -1.0}}, Sense::kGe, -4.0);  // −x >= −4 → x <= 4
+  const PresolveResult pre = presolve(m);
+  EXPECT_DOUBLE_EQ(pre.upper[0], 4.0);
+  EXPECT_DOUBLE_EQ(pre.lower[0], 0.0);
+}
+
+TEST(Presolve, SingletonEqFixesVariable) {
+  Model m;
+  const int x = m.addVariable(0, 10.0, 1.0);
+  m.addConstraint({{x, 3.0}}, Sense::kEq, 6.0);
+  const PresolveResult pre = presolve(m);
+  EXPECT_DOUBLE_EQ(pre.lower[0], 2.0);
+  EXPECT_DOUBLE_EQ(pre.upper[0], 2.0);
+}
+
+TEST(Presolve, DetectsInfeasibleSingleton) {
+  Model m;
+  const int x = m.addVariable(5.0, 10.0, 1.0);
+  m.addConstraint({{x, 1.0}}, Sense::kLe, 2.0);  // x <= 2 vs lower 5
+  EXPECT_TRUE(presolve(m).infeasible);
+}
+
+TEST(Presolve, DropsRedundantRow) {
+  Model m;
+  const int x = m.addVariable(0.0, 1.0, 1.0);
+  const int y = m.addVariable(0.0, 1.0, 1.0);
+  m.addConstraint({{x, 1.0}, {y, 1.0}}, Sense::kLe, 5.0);  // max activity 2
+  const PresolveResult pre = presolve(m);
+  EXPECT_EQ(pre.rowsEliminated, 1);
+  EXPECT_EQ(pre.reduced.numConstraints(), 0);
+}
+
+TEST(Presolve, ForcingRowPinsVariables) {
+  // x + y <= 0 with x, y >= 0 forces x = y = 0.
+  Model m;
+  m.setMaximize(true);
+  const int x = m.addVariable(0.0, 5.0, 1.0);
+  const int y = m.addVariable(0.0, 5.0, 1.0);
+  m.addConstraint({{x, 1.0}, {y, 1.0}}, Sense::kLe, 0.0);
+  const PresolveResult pre = presolve(m);
+  EXPECT_FALSE(pre.infeasible);
+  EXPECT_DOUBLE_EQ(pre.upper[0], 0.0);
+  EXPECT_DOUBLE_EQ(pre.upper[1], 0.0);
+}
+
+TEST(Presolve, DetectsInfeasibleActivity) {
+  Model m;
+  const int x = m.addVariable(0.0, 1.0, 1.0);
+  m.addConstraint({{x, 1.0}}, Sense::kGe, 2.0);  // max activity 1 < 2
+  EXPECT_TRUE(presolve(m).infeasible);
+}
+
+TEST(Presolve, CascadesThroughSweeps) {
+  // Row 1 bounds x, which then makes row 2 redundant.
+  Model m;
+  m.setMaximize(true);
+  const int x = m.addVariable(0.0, kInfinity, 1.0);
+  const int y = m.addVariable(0.0, 1.0, 1.0);
+  m.addConstraint({{x, 1.0}}, Sense::kLe, 1.0);            // x <= 1
+  m.addConstraint({{x, 1.0}, {y, 1.0}}, Sense::kLe, 5.0);  // now redundant
+  const PresolveResult pre = presolve(m);
+  EXPECT_EQ(pre.rowsEliminated, 2);
+}
+
+TEST(PresolveAndSolve, ObjectiveMatchesPlainSolve) {
+  Rng rng(46);
+  for (int trial = 0; trial < 10; ++trial) {
+    Model m;
+    m.setMaximize(true);
+    const int n = rng.uniformInt(2, 5);
+    for (int j = 0; j < n; ++j) {
+      m.addVariable(0.0, rng.uniform(0.5, 3.0), rng.uniform(0.1, 2.0));
+    }
+    for (int i = 0; i < rng.uniformInt(1, 6); ++i) {
+      std::vector<std::pair<int, double>> row;
+      const int var = rng.uniformInt(0, n - 1);
+      row.emplace_back(var, rng.uniform(0.2, 2.0));
+      if (rng.bernoulli(0.6)) {
+        const int other = rng.uniformInt(0, n - 1);
+        if (other != var) row.emplace_back(other, rng.uniform(0.2, 2.0));
+      }
+      m.addConstraint(std::move(row), Sense::kLe, rng.uniform(0.5, 4.0));
+    }
+    const LpResult plain = solveLp(m);
+    const LpResult pre = presolveAndSolve(m);
+    ASSERT_EQ(plain.status, pre.status) << "trial " << trial;
+    if (plain.status == SolveStatus::kOptimal) {
+      EXPECT_NEAR(plain.objective, pre.objective, 1e-7) << "trial " << trial;
+      EXPECT_TRUE(m.isFeasible(pre.x, 1e-6));
+    }
+  }
+}
+
+TEST(PresolveAndSolve, DualsMappedBackToOriginalRows) {
+  Model m;
+  m.setMaximize(true);
+  const int x = m.addVariable(0, kInfinity, 2.0);
+  m.addConstraint({{x, 1.0}}, Sense::kLe, 100.0);  // redundant after row 2
+  m.addConstraint({{x, 1.0}}, Sense::kLe, 3.0);
+  const LpResult res = presolveAndSolve(m);
+  ASSERT_EQ(res.status, SolveStatus::kOptimal);
+  ASSERT_EQ(res.duals.size(), 2u);
+  EXPECT_NEAR(res.objective, 6.0, 1e-9);
+  EXPECT_DOUBLE_EQ(res.duals[0], 0.0);  // eliminated/redundant row
+}
+
+TEST(PresolveAndSolve, DsctLpUnchangedObjective) {
+  const Instance inst = dsct::testing::randomInstance(90, 10, 3);
+  const DsctLp lpModel = buildFractionalLp(inst);
+  const LpResult plain = solveLp(lpModel.model);
+  const LpResult pre = presolveAndSolve(lpModel.model);
+  ASSERT_EQ(plain.status, SolveStatus::kOptimal);
+  ASSERT_EQ(pre.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(plain.objective, pre.objective, 1e-6);
+}
+
+}  // namespace
+}  // namespace dsct::lp

@@ -1,0 +1,82 @@
+// Numerical robustness: badly scaled models (the DSCT LP mixes TFLOP-scale
+// and Joule-scale coefficients) and larger random cross-checks.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "mipmodel/dsct_lp.h"
+#include "sched/fr_opt.h"
+#include "solver/model.h"
+#include "solver/simplex.h"
+#include "tests/test_support.h"
+#include "util/rng.h"
+
+namespace dsct::lp {
+namespace {
+
+TEST(Scaling, HugeCoefficientsStillSolve) {
+  // max x + y with a 1e9-scaled row: 1e9 x + 2e9 y <= 3e9 → x + 2y <= 3.
+  Model m;
+  m.setMaximize(true);
+  const int x = m.addVariable(0, kInfinity, 1.0);
+  const int y = m.addVariable(0, kInfinity, 1.0);
+  m.addConstraint({{x, 1e9}, {y, 2e9}}, Sense::kLe, 3e9);
+  const LpResult res = solveLp(m);
+  ASSERT_EQ(res.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(res.objective, 3.0, 1e-6);
+  // Dual must be reported against the *original* row scale.
+  EXPECT_NEAR(res.duals[0], 1.0 / 1e9, 1e-15);
+}
+
+TEST(Scaling, TinyCoefficients) {
+  // min x s.t. 1e-8 x >= 2e-8 → x >= 2.
+  Model m;
+  const int x = m.addVariable(0, kInfinity, 1.0);
+  m.addConstraint({{x, 1e-8}}, Sense::kGe, 2e-8);
+  const LpResult res = solveLp(m);
+  ASSERT_EQ(res.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(res.objective, 2.0, 1e-6);
+}
+
+TEST(Scaling, MixedMagnitudeRows) {
+  Model m;
+  m.setMaximize(true);
+  const int x = m.addVariable(0, kInfinity, 1.0);
+  const int y = m.addVariable(0, kInfinity, 1e-6);
+  m.addConstraint({{x, 1e6}, {y, 1.0}}, Sense::kLe, 2e6);
+  m.addConstraint({{x, 1.0}, {y, 1e-6}}, Sense::kLe, 3.0);
+  const LpResult res = solveLp(m);
+  ASSERT_EQ(res.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(m.isFeasible(res.x, 1e-3));
+}
+
+// The real stress: the DSCT fractional LP in raw SI-ish units has speeds
+// ~1e1, powers ~1e2-1e3 and budgets ~1e2-1e5 in the same rows. FR-OPT is
+// the independent reference.
+class ScalingDsctAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScalingDsctAgreement, LpMatchesFrOpt) {
+  const std::uint64_t seed =
+      deriveSeed(13131, static_cast<std::uint64_t>(GetParam()));
+  Rng rng(seed);
+  const int n = rng.uniformInt(10, 25);
+  const int m = rng.uniformInt(2, 5);
+  const Instance inst = dsct::testing::randomInstance(
+      seed, n, m, rng.uniform(0.05, 1.0), rng.uniform(0.1, 0.9), 0.1, 4.9);
+  const FrOptResult fr = solveFrOpt(inst);
+  const DsctLp lpModel = buildFractionalLp(inst);
+  const LpResult res = solveLp(lpModel.model);
+  ASSERT_EQ(res.status, SolveStatus::kOptimal) << "seed " << seed;
+  const double tol = 1e-3 * std::max(1.0, res.objective);
+  EXPECT_NEAR(fr.totalAccuracy, res.objective, tol) << "seed " << seed;
+  // The budget row's dual is the energy shadow price: non-negative, and
+  // zero when the budget is slack.
+  const int energyRow = lpModel.model.numConstraints() - 1;
+  EXPECT_GE(res.duals[static_cast<std::size_t>(energyRow)], -1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, ScalingDsctAgreement,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace dsct::lp

@@ -1,0 +1,346 @@
+#include "solver/simplex.h"
+
+#include <array>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "solver/model.h"
+#include "util/rng.h"
+
+namespace dsct::lp {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+TEST(Simplex, TextbookMaximisation) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 → opt 36 at (2, 6).
+  Model m;
+  m.setMaximize(true);
+  const int x = m.addVariable(0, kInfinity, 3.0);
+  const int y = m.addVariable(0, kInfinity, 5.0);
+  m.addConstraint({{x, 1.0}}, Sense::kLe, 4.0);
+  m.addConstraint({{y, 2.0}}, Sense::kLe, 12.0);
+  m.addConstraint({{x, 3.0}, {y, 2.0}}, Sense::kLe, 18.0);
+  const LpResult res = solveLp(m);
+  ASSERT_EQ(res.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(res.objective, 36.0, kTol);
+  EXPECT_NEAR(res.x[0], 2.0, kTol);
+  EXPECT_NEAR(res.x[1], 6.0, kTol);
+}
+
+TEST(Simplex, MinimisationWithGeRows) {
+  // min 2x + 3y s.t. x + y >= 10, x >= 2, y >= 3 → opt at (7,3) = 23.
+  Model m;
+  const int x = m.addVariable(2.0, kInfinity, 2.0);
+  const int y = m.addVariable(3.0, kInfinity, 3.0);
+  m.addConstraint({{x, 1.0}, {y, 1.0}}, Sense::kGe, 10.0);
+  const LpResult res = solveLp(m);
+  ASSERT_EQ(res.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(res.objective, 23.0, kTol);
+  EXPECT_NEAR(res.x[0], 7.0, kTol);
+  EXPECT_NEAR(res.x[1], 3.0, kTol);
+}
+
+TEST(Simplex, EqualityConstraints) {
+  // max x + 2y s.t. x + y == 4, x - y == 0 → x = y = 2, obj 6.
+  Model m;
+  m.setMaximize(true);
+  const int x = m.addVariable(0, kInfinity, 1.0);
+  const int y = m.addVariable(0, kInfinity, 2.0);
+  m.addConstraint({{x, 1.0}, {y, 1.0}}, Sense::kEq, 4.0);
+  m.addConstraint({{x, 1.0}, {y, -1.0}}, Sense::kEq, 0.0);
+  const LpResult res = solveLp(m);
+  ASSERT_EQ(res.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(res.objective, 6.0, kTol);
+  EXPECT_NEAR(res.x[0], 2.0, kTol);
+  EXPECT_NEAR(res.x[1], 2.0, kTol);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  Model m;
+  const int x = m.addVariable(0, kInfinity, 1.0);
+  m.addConstraint({{x, 1.0}}, Sense::kLe, 1.0);
+  m.addConstraint({{x, 1.0}}, Sense::kGe, 2.0);
+  EXPECT_EQ(solveLp(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsInfeasibleBounds) {
+  Model m;
+  m.addVariable(0.0, kInfinity, 1.0);
+  std::vector<double> lower{5.0};
+  std::vector<double> upper{4.0};
+  EXPECT_EQ(solveLpWithBounds(m, lower, upper).status,
+            SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  Model m;
+  m.setMaximize(true);
+  const int x = m.addVariable(0, kInfinity, 1.0);
+  m.addConstraint({{x, -1.0}}, Sense::kLe, 0.0);  // non-binding
+  EXPECT_EQ(solveLp(m).status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, FreeVariables) {
+  // min |shape|: min x + y with x free, x >= -5 via constraint, y >= 0,
+  // x + y >= -2. Optimal pushes x to its implied lower region.
+  Model m;
+  const int x = m.addVariable(-kInfinity, kInfinity, 1.0);
+  const int y = m.addVariable(0.0, kInfinity, 1.0);
+  m.addConstraint({{x, 1.0}}, Sense::kGe, -5.0);
+  m.addConstraint({{x, 1.0}, {y, 1.0}}, Sense::kGe, -2.0);
+  const LpResult res = solveLp(m);
+  ASSERT_EQ(res.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(res.objective, -2.0, kTol);
+}
+
+TEST(Simplex, UpperBoundedVariables) {
+  // max x + y, x in [0, 1], y in [0, 2], x + y <= 2.5 → 2.5.
+  Model m;
+  m.setMaximize(true);
+  const int x = m.addVariable(0.0, 1.0, 1.0);
+  const int y = m.addVariable(0.0, 2.0, 1.0);
+  m.addConstraint({{x, 1.0}, {y, 1.0}}, Sense::kLe, 2.5);
+  const LpResult res = solveLp(m);
+  ASSERT_EQ(res.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(res.objective, 2.5, kTol);
+  EXPECT_LE(res.x[0], 1.0 + kTol);
+  EXPECT_LE(res.x[1], 2.0 + kTol);
+}
+
+TEST(Simplex, NegativeLowerBounds) {
+  // min x with x in [-3, 7] → -3.
+  Model m;
+  m.addVariable(-3.0, 7.0, 1.0);
+  const LpResult res = solveLp(m);
+  ASSERT_EQ(res.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(res.objective, -3.0, kTol);
+}
+
+TEST(Simplex, UpperBoundOnlyVariable) {
+  // max x with x in (-inf, 5] → 5.
+  Model m;
+  m.setMaximize(true);
+  m.addVariable(-kInfinity, 5.0, 1.0);
+  const LpResult res = solveLp(m);
+  ASSERT_EQ(res.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(res.objective, 5.0, kTol);
+}
+
+TEST(Simplex, FixedVariablesSubstituted) {
+  // x fixed at 2 by bounds; max x + y, y <= 3 → 5.
+  Model m;
+  m.setMaximize(true);
+  m.addVariable(2.0, 2.0, 1.0);
+  const int y = m.addVariable(0.0, 3.0, 1.0);
+  m.addConstraint({{y, 1.0}}, Sense::kLe, 3.0);
+  const LpResult res = solveLp(m);
+  ASSERT_EQ(res.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(res.objective, 5.0, kTol);
+  EXPECT_DOUBLE_EQ(res.x[0], 2.0);
+}
+
+TEST(Simplex, ConstantRowConsistencyChecks) {
+  Model m;
+  const int x = m.addVariable(1.0, 1.0, 1.0);  // fixed
+  // 2x <= 1 with x == 1 is a constant contradiction.
+  m.addConstraint({{x, 2.0}}, Sense::kLe, 1.0);
+  EXPECT_EQ(solveLp(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DegenerateTiesTerminate) {
+  // Beale's cycling example: Dantzig pricing with naive tie-breaking cycles
+  // forever; the Bland fallback must terminate at the optimum −0.05
+  // (x = (1/25, 0, 1, 0)).
+  Model m;
+  const int x1 = m.addVariable(0, kInfinity, -0.75);
+  const int x2 = m.addVariable(0, kInfinity, 150.0);
+  const int x3 = m.addVariable(0, kInfinity, -0.02);
+  const int x4 = m.addVariable(0, kInfinity, 6.0);
+  m.addConstraint({{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}},
+                  Sense::kLe, 0.0);
+  m.addConstraint({{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}},
+                  Sense::kLe, 0.0);
+  m.addConstraint({{x3, 1.0}}, Sense::kLe, 1.0);
+  const LpResult res = solveLp(m);
+  ASSERT_EQ(res.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(res.objective, -0.05, 1e-8);
+}
+
+TEST(Simplex, EmptyModelIsTriviallyOptimal) {
+  Model m;
+  m.addVariable(0.0, kInfinity, 0.0);
+  const LpResult res = solveLp(m);
+  ASSERT_EQ(res.status, SolveStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(res.objective, 0.0);
+}
+
+TEST(Simplex, IterationLimitReported) {
+  Model m;
+  m.setMaximize(true);
+  std::vector<int> vars;
+  for (int i = 0; i < 10; ++i) vars.push_back(m.addVariable(0, 1.0, 1.0));
+  for (int i = 0; i < 9; ++i) {
+    m.addConstraint({{vars[i], 1.0}, {vars[i + 1], 1.0}}, Sense::kLe, 1.5);
+  }
+  LpOptions options;
+  options.maxIterations = 1;
+  const LpResult res = solveLp(m, options);
+  EXPECT_EQ(res.status, SolveStatus::kIterationLimit);
+}
+
+// ---------------------------------------------------------------------
+// Cross-check against brute-force vertex enumeration on random small LPs.
+// ---------------------------------------------------------------------
+
+struct DenseLp {
+  int nvars;
+  std::vector<std::array<double, 3>> rows;  // a·x <= b
+  std::vector<double> rhs;
+  std::array<double, 3> objective;
+};
+
+/// Solve k×k linear system by Gaussian elimination; false when singular.
+bool solveSquare(std::vector<std::array<double, 3>> a, std::vector<double> b,
+                 int k, std::array<double, 3>& out) {
+  for (int col = 0; col < k; ++col) {
+    int pivot = col;
+    for (int row = col + 1; row < k; ++row) {
+      if (std::fabs(a[row][col]) > std::fabs(a[pivot][col])) pivot = row;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-9) return false;
+    std::swap(a[pivot], a[col]);
+    std::swap(b[pivot], b[col]);
+    for (int row = 0; row < k; ++row) {
+      if (row == col) continue;
+      const double f = a[row][col] / a[col][col];
+      for (int c = 0; c < k; ++c) a[row][c] -= f * a[col][c];
+      b[row] -= f * b[col];
+    }
+  }
+  for (int i = 0; i < k; ++i) out[i] = b[i] / a[i][i];
+  return true;
+}
+
+/// Max c·x over the polytope by enumerating all vertices (subsets of tight
+/// constraints). Region is made bounded by box rows. Returns -inf if empty.
+double bruteForceMax(const DenseLp& lp) {
+  const int n = lp.nvars;
+  const int rows = static_cast<int>(lp.rows.size());
+  double best = -std::numeric_limits<double>::infinity();
+  std::vector<int> pick(static_cast<std::size_t>(n));
+  // Enumerate all n-subsets of rows.
+  std::vector<int> idx(static_cast<std::size_t>(n));
+  const auto evaluate = [&](const std::vector<int>& subset) {
+    std::vector<std::array<double, 3>> a;
+    std::vector<double> b;
+    for (int r : subset) {
+      a.push_back(lp.rows[static_cast<std::size_t>(r)]);
+      b.push_back(lp.rhs[static_cast<std::size_t>(r)]);
+    }
+    std::array<double, 3> x{};
+    if (!solveSquare(std::move(a), std::move(b), n, x)) return;
+    for (int r = 0; r < rows; ++r) {
+      double lhs = 0.0;
+      for (int c = 0; c < n; ++c) {
+        lhs += lp.rows[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] *
+               x[static_cast<std::size_t>(c)];
+      }
+      if (lhs > lp.rhs[static_cast<std::size_t>(r)] + 1e-7) return;
+    }
+    double obj = 0.0;
+    for (int c = 0; c < n; ++c) {
+      obj += lp.objective[static_cast<std::size_t>(c)] *
+             x[static_cast<std::size_t>(c)];
+    }
+    best = std::max(best, obj);
+  };
+  // Recursive subset enumeration.
+  const std::function<void(int, int)> recurse = [&](int start, int depth) {
+    if (depth == n) {
+      evaluate(idx);
+      return;
+    }
+    for (int r = start; r < rows; ++r) {
+      idx[static_cast<std::size_t>(depth)] = r;
+      recurse(r + 1, depth + 1);
+    }
+  };
+  recurse(0, 0);
+  return best;
+}
+
+class SimplexRandomLp : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexRandomLp, MatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919u + 13u);
+  const int n = rng.uniformInt(2, 3);
+  const int extraRows = rng.uniformInt(1, 5);
+  DenseLp lp;
+  lp.nvars = n;
+  // Box: x_i >= 0 (−x_i <= 0) and x_i <= U.
+  for (int i = 0; i < n; ++i) {
+    std::array<double, 3> lo{};
+    lo[static_cast<std::size_t>(i)] = -1.0;
+    lp.rows.push_back(lo);
+    lp.rhs.push_back(0.0);
+    std::array<double, 3> hi{};
+    hi[static_cast<std::size_t>(i)] = 1.0;
+    lp.rows.push_back(hi);
+    lp.rhs.push_back(rng.uniform(0.5, 4.0));
+  }
+  for (int r = 0; r < extraRows; ++r) {
+    std::array<double, 3> row{};
+    for (int c = 0; c < n; ++c) {
+      row[static_cast<std::size_t>(c)] = rng.uniform(-1.0, 2.0);
+    }
+    lp.rows.push_back(row);
+    lp.rhs.push_back(rng.uniform(0.5, 5.0));
+  }
+  for (int c = 0; c < n; ++c) {
+    lp.objective[static_cast<std::size_t>(c)] = rng.uniform(-1.0, 3.0);
+  }
+
+  Model m;
+  m.setMaximize(true);
+  for (int c = 0; c < n; ++c) {
+    m.addVariable(0.0, kInfinity, lp.objective[static_cast<std::size_t>(c)]);
+  }
+  // Skip the explicit x >= 0 rows (they are variable bounds); add the rest.
+  for (std::size_t r = 0; r < lp.rows.size(); ++r) {
+    bool isLowerBoundRow = false;
+    int nonzeros = 0;
+    for (int c = 0; c < n; ++c) {
+      if (lp.rows[r][static_cast<std::size_t>(c)] != 0.0) ++nonzeros;
+    }
+    if (nonzeros == 1 && lp.rhs[r] == 0.0) {
+      for (int c = 0; c < n; ++c) {
+        if (lp.rows[r][static_cast<std::size_t>(c)] == -1.0) {
+          isLowerBoundRow = true;
+        }
+      }
+    }
+    if (isLowerBoundRow) continue;
+    std::vector<std::pair<int, double>> coeffs;
+    for (int c = 0; c < n; ++c) {
+      if (lp.rows[r][static_cast<std::size_t>(c)] != 0.0) {
+        coeffs.emplace_back(c, lp.rows[r][static_cast<std::size_t>(c)]);
+      }
+    }
+    m.addConstraint(std::move(coeffs), Sense::kLe, lp.rhs[r]);
+  }
+
+  const double expected = bruteForceMax(lp);
+  const LpResult res = solveLp(m);
+  ASSERT_EQ(res.status, SolveStatus::kOptimal) << "seed " << GetParam();
+  EXPECT_NEAR(res.objective, expected, 1e-5) << "seed " << GetParam();
+  EXPECT_TRUE(m.isFeasible(res.x, 1e-6));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLps, SimplexRandomLp, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace dsct::lp

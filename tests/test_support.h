@@ -1,0 +1,49 @@
+// Shared fixtures and builders for the dsct test suite.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "accuracy/fit.h"
+#include "accuracy/piecewise.h"
+#include "sched/types.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace dsct::testing {
+
+/// A simple 2-segment concave accuracy function reaching `amax` at `fmax`.
+inline PiecewiseLinearAccuracy twoSegment(double amin = 0.0,
+                                          double amax = 0.8,
+                                          double fmax = 2.0) {
+  const double mid = amin + 0.75 * (amax - amin);
+  return PiecewiseLinearAccuracy::fromPoints({0.0, fmax / 2.0, fmax},
+                                             {amin, mid, amax});
+}
+
+/// Deterministic random instance via the paper's scenario generator.
+inline Instance randomInstance(std::uint64_t seed, int n = 8, int m = 3,
+                               double rho = 0.35, double beta = 0.5,
+                               double thetaMin = 0.1, double thetaMax = 1.0) {
+  ScenarioSpec spec;
+  spec.numTasks = n;
+  spec.numMachines = m;
+  spec.rho = rho;
+  spec.beta = beta;
+  return makeScenario(spec, thetaMin, thetaMax, seed);
+}
+
+/// Tiny hand-built instance: 2 tasks, 2 machines, generous budget.
+inline Instance tinyInstance(double budget = 1e9) {
+  std::vector<Task> tasks{
+      Task{1.0, twoSegment(0.0, 0.8, 2.0), "t0"},
+      Task{2.0, twoSegment(0.0, 0.9, 3.0), "t1"},
+  };
+  std::vector<Machine> machines{
+      Machine{2.0, 0.05, "m0"},
+      Machine{1.0, 0.08, "m1"},
+  };
+  return Instance(std::move(tasks), std::move(machines), budget);
+}
+
+}  // namespace dsct::testing

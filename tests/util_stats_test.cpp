@@ -1,0 +1,109 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace dsct {
+namespace {
+
+TEST(RunningStats, EmptyIsEmpty) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_THROW(s.mean(), CheckError);
+  EXPECT_THROW(s.min(), CheckError);
+  EXPECT_THROW(s.max(), CheckError);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stderrMean(), 0.0);
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats s;
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  for (double x : xs) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(2.5), 1e-12);
+  EXPECT_NEAR(s.stderrMean(), std::sqrt(2.5 / 5.0), 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 10; ++i) {
+    const double x = 0.37 * i * i - 2.0 * i;
+    (i < 4 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean);
+}
+
+TEST(RunningStats, NumericallyStableOnOffsetData) {
+  // Large offset + small variance: the naive sum-of-squares formula fails
+  // here; Welford must not.
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) s.add(1e9 + (i % 2));
+  EXPECT_NEAR(s.variance(), 0.2502502502, 1e-6);
+}
+
+TEST(Summarize, SpanOverload) {
+  const std::vector<double> xs{2.0, 4.0, 6.0};
+  const RunningStats s = summarize(xs);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+}
+
+TEST(Percentile, Endpoints) {
+  const std::vector<double> xs{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 3.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 75.0), 7.5);
+}
+
+TEST(Percentile, SingleElementAndErrors) {
+  const std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(percentile(one, 33.0), 7.0);
+  const std::vector<double> none;
+  EXPECT_THROW(percentile(none, 50.0), CheckError);
+  EXPECT_THROW(percentile(one, -1.0), CheckError);
+  EXPECT_THROW(percentile(one, 101.0), CheckError);
+}
+
+}  // namespace
+}  // namespace dsct

@@ -1,0 +1,167 @@
+#include "workload/generator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+#include "workload/gpu_catalog.h"
+
+namespace dsct {
+namespace {
+
+TEST(GpuCatalog, NonEmptyAndWithinPaperEnvelope) {
+  const auto& catalog = gpuCatalog();
+  ASSERT_GE(catalog.size(), 8u);
+  for (const GpuSpec& gpu : catalog) {
+    EXPECT_GE(gpu.speedTflops, 1.0);
+    EXPECT_LE(gpu.speedTflops, 20.0);
+    EXPECT_GE(gpu.efficiencyGflopsPerWatt, 5.0);
+    EXPECT_LE(gpu.efficiencyGflopsPerWatt, 60.0);
+  }
+}
+
+TEST(GpuCatalog, ToMachineConvertsUnits) {
+  const Machine m = gpuByName("A100").toMachine();
+  EXPECT_DOUBLE_EQ(m.speed, 19.5);
+  EXPECT_DOUBLE_EQ(m.efficiency, 0.060);
+  EXPECT_NEAR(m.power(), 325.0, 1.0);  // realistic wattage
+}
+
+TEST(GpuCatalog, UnknownNameThrows) {
+  EXPECT_THROW(gpuByName("NotAGpu"), CheckError);
+}
+
+TEST(GpuCatalog, SubsetSelection) {
+  const auto machines = machinesFromCatalog({"V100", "T4"});
+  ASSERT_EQ(machines.size(), 2u);
+  EXPECT_EQ(machines[0].name, "V100");
+  EXPECT_EQ(machines[1].name, "T4");
+  EXPECT_EQ(machinesFromCatalog().size(), gpuCatalog().size());
+}
+
+TEST(GpuCatalog, EfficiencyTrendIsLinearAndPositive) {
+  const LinearTrend trend = efficiencyTrend();
+  EXPECT_GT(trend.slope, 0.0);  // faster GPUs are more efficient
+  EXPECT_GT(trend.r2, 0.8);     // strongly linear, as in paper Fig. 1
+}
+
+TEST(Generator, UniformMachinesWithinRanges) {
+  Rng rng(5);
+  const auto machines = makeUniformMachines(20, rng);
+  ASSERT_EQ(machines.size(), 20u);
+  for (const Machine& m : machines) {
+    EXPECT_GE(m.speed, GeneratorDefaults::kMinSpeed);
+    EXPECT_LE(m.speed, GeneratorDefaults::kMaxSpeed);
+    EXPECT_GE(m.efficiency, GeneratorDefaults::kMinEff);
+    EXPECT_LE(m.efficiency, GeneratorDefaults::kMaxEff);
+  }
+}
+
+TEST(Generator, ThetasUniformRange) {
+  Rng rng(6);
+  const auto thetas = makeThetasUniform(100, 0.1, 2.0, rng);
+  for (double theta : thetas) {
+    EXPECT_GE(theta, 0.1);
+    EXPECT_LT(theta, 2.0);
+  }
+}
+
+TEST(Generator, EarliestHighEfficientSplit) {
+  Rng rng(7);
+  const auto thetas =
+      makeThetasEarliestHighEfficient(10, 0.3, 4.0, 4.9, 0.1, 1.0, rng);
+  ASSERT_EQ(thetas.size(), 10u);
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_GE(thetas[static_cast<std::size_t>(j)], 4.0);
+  }
+  for (int j = 3; j < 10; ++j) {
+    EXPECT_LE(thetas[static_cast<std::size_t>(j)], 1.0);
+  }
+}
+
+TEST(Generator, RhoControlsDeadlineScale) {
+  ScenarioSpec tight;
+  tight.numTasks = 20;
+  tight.numMachines = 3;
+  tight.rho = 0.01;
+  ScenarioSpec loose = tight;
+  loose.rho = 1.0;
+  const Instance a = makeScenario(tight, 0.1, 1.0, 42);
+  const Instance b = makeScenario(loose, 0.1, 1.0, 42);
+  EXPECT_NEAR(b.maxDeadline() / a.maxDeadline(), 100.0, 1e-6);
+}
+
+TEST(Generator, RhoFormulaHolds) {
+  ScenarioSpec spec;
+  spec.numTasks = 15;
+  spec.numMachines = 4;
+  spec.rho = 0.35;
+  const Instance inst = makeScenario(spec, 0.1, 1.0, 9);
+  const double m = static_cast<double>(inst.numMachines());
+  const double rho = m * m * inst.maxDeadline() /
+                     (inst.totalFmax() * inst.totalSpeed());
+  EXPECT_NEAR(rho, 0.35, 1e-9);
+}
+
+TEST(Generator, BetaFormulaHolds) {
+  ScenarioSpec spec;
+  spec.numTasks = 15;
+  spec.numMachines = 4;
+  spec.beta = 0.42;
+  const Instance inst = makeScenario(spec, 0.1, 1.0, 10);
+  const double beta =
+      inst.energyBudget() / (inst.maxDeadline() * inst.totalPower());
+  EXPECT_NEAR(beta, 0.42, 1e-9);
+}
+
+TEST(Generator, Deterministic) {
+  ScenarioSpec spec;
+  spec.numTasks = 10;
+  spec.numMachines = 2;
+  const Instance a = makeScenario(spec, 0.1, 1.0, 77);
+  const Instance b = makeScenario(spec, 0.1, 1.0, 77);
+  EXPECT_DOUBLE_EQ(a.energyBudget(), b.energyBudget());
+  for (int j = 0; j < a.numTasks(); ++j) {
+    EXPECT_DOUBLE_EQ(a.task(j).deadline, b.task(j).deadline);
+    EXPECT_DOUBLE_EQ(a.task(j).fmax(), b.task(j).fmax());
+  }
+}
+
+TEST(Generator, DeadlinesSortedWithMaxPinned) {
+  ScenarioSpec spec;
+  spec.numTasks = 25;
+  spec.numMachines = 3;
+  const Instance inst = makeScenario(spec, 0.1, 1.0, 11);
+  for (int j = 0; j + 1 < inst.numTasks(); ++j) {
+    EXPECT_LE(inst.task(j).deadline, inst.task(j + 1).deadline);
+  }
+  const double m = static_cast<double>(inst.numMachines());
+  const double expectedDmax =
+      spec.rho * inst.totalFmax() * inst.totalSpeed() / (m * m);
+  EXPECT_NEAR(inst.maxDeadline(), expectedDmax, 1e-9);
+}
+
+TEST(Generator, TaskAccuracyMatchesPaperConstants) {
+  ScenarioSpec spec;
+  spec.numTasks = 5;
+  spec.numMachines = 2;
+  const Instance inst = makeScenario(spec, 0.1, 1.0, 12);
+  for (const Task& task : inst.tasks()) {
+    EXPECT_DOUBLE_EQ(task.amin(), GeneratorDefaults::kAmin);
+    EXPECT_NEAR(task.amax(), GeneratorDefaults::kAmax, 1e-9);
+    EXPECT_EQ(task.accuracy.numSegments(), GeneratorDefaults::kSegments);
+  }
+}
+
+TEST(Generator, EmptyTaskList) {
+  ScenarioSpec spec;
+  spec.numTasks = 0;
+  spec.numMachines = 2;
+  const Instance inst = makeScenario(spec, 0.1, 1.0, 13);
+  EXPECT_EQ(inst.numTasks(), 0);
+  EXPECT_DOUBLE_EQ(inst.energyBudget(), 0.0);
+}
+
+}  // namespace
+}  // namespace dsct

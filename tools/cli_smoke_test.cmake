@@ -1,0 +1,21 @@
+# Smoke test for dsct_cli: generate → solve → validate → simulate.
+function(run_step)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE code OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "step failed (${code}): ${ARGV}\n${out}\n${err}")
+  endif()
+endfunction()
+
+set(inst ${WORKDIR}/cli_instance.txt)
+set(sched ${WORKDIR}/cli_schedule.txt)
+
+run_step(${CLI} generate --tasks 8 --machines 2 --seed 7 --out ${inst})
+run_step(${CLI} solve ${inst} --algo approx --out ${sched})
+run_step(${CLI} validate ${inst} ${sched})
+run_step(${CLI} simulate ${inst} ${sched})
+run_step(${CLI} solve ${inst} --algo edf)
+run_step(${CLI} solve ${inst} --algo edf3)
+run_step(${CLI} solve ${inst} --algo frlp)
+run_step(${CLI} solve ${inst} --algo mip --time-limit 10)
+run_step(${CLI} info ${inst} --tasks)

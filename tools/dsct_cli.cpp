@@ -1,0 +1,225 @@
+// dsct command-line tool.
+//
+//   dsct_cli generate --tasks N --machines M [--rho R] [--beta B]
+//            [--theta-min T] [--theta-max T] [--seed S] --out FILE
+//   dsct_cli solve INSTANCE [--algo approx|edf|edf3|frlp|mip]
+//            [--time-limit SEC] [--out SCHEDULE]
+//   dsct_cli info INSTANCE [--tasks]
+//   dsct_cli validate INSTANCE SCHEDULE
+//   dsct_cli simulate INSTANCE SCHEDULE [--trace]
+//
+// Exit code 0 on success (and, for `validate`, a feasible schedule);
+// 1 on usage errors, 2 on infeasibility.
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dsct/dsct.h"
+
+namespace {
+
+using namespace dsct;
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+
+  bool has(const std::string& key) const { return options.count(key) > 0; }
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  double getDouble(const std::string& key, double fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::stod(it->second);
+  }
+  int getInt(const std::string& key, int fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::stoi(it->second);
+  }
+};
+
+Args parseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      const std::string key = token.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        args.options[key] = argv[++i];
+      } else {
+        args.options[key] = "1";  // boolean flag
+      }
+    } else {
+      args.positional.push_back(token);
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::cerr <<
+      "usage:\n"
+      "  dsct_cli generate --tasks N --machines M [--rho R] [--beta B]\n"
+      "           [--theta-min T] [--theta-max T] [--seed S] --out FILE\n"
+      "  dsct_cli solve INSTANCE [--algo approx|edf|edf3|frlp|mip]\n"
+      "           [--time-limit SEC] [--out SCHEDULE] [--gantt]\n"
+      "  dsct_cli info INSTANCE [--tasks]\n"
+      "  dsct_cli validate INSTANCE SCHEDULE\n"
+      "  dsct_cli simulate INSTANCE SCHEDULE [--trace]\n";
+  return 1;
+}
+
+int cmdGenerate(const Args& args) {
+  if (!args.has("out")) return usage();
+  ScenarioSpec spec;
+  spec.numTasks = args.getInt("tasks", 20);
+  spec.numMachines = args.getInt("machines", 3);
+  spec.rho = args.getDouble("rho", 0.35);
+  spec.beta = args.getDouble("beta", 0.5);
+  const double thetaMin = args.getDouble("theta-min", 0.1);
+  const double thetaMax = args.getDouble("theta-max", 1.0);
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+  const Instance inst = makeScenario(spec, thetaMin, thetaMax, seed);
+  io::writeInstanceFile(args.get("out", ""), inst);
+  std::cout << "wrote " << args.get("out", "") << ": " << inst.numTasks()
+            << " tasks, " << inst.numMachines() << " machines, budget "
+            << inst.energyBudget() << " J\n";
+  return 0;
+}
+
+void printSummary(const Instance& inst, const IntegralSchedule& schedule,
+                  const std::string& algo) {
+  const ValidationReport report = validate(inst, schedule);
+  std::cout << "algorithm      : " << algo << '\n'
+            << "total accuracy : " << schedule.totalAccuracy(inst) << '\n'
+            << "avg accuracy   : " << schedule.averageAccuracy(inst) << '\n'
+            << "energy         : " << schedule.energy(inst) << " / "
+            << inst.energyBudget() << " J\n"
+            << "scheduled      : " << schedule.numScheduled() << " / "
+            << inst.numTasks() << '\n'
+            << "validation     : " << report.summary() << '\n';
+}
+
+int cmdSolve(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const Instance inst = io::readInstanceFile(args.positional[0]);
+  const std::string algo = args.get("algo", "approx");
+  std::optional<IntegralSchedule> schedule;
+  if (algo == "approx") {
+    ApproxResult res = solveApprox(inst);
+    std::cout << "upper bound    : " << res.upperBound << '\n'
+              << "guarantee G    : " << res.guarantee.g << '\n';
+    schedule = std::move(res.schedule);
+  } else if (algo == "edf") {
+    schedule = solveEdfNoCompression(inst).schedule;
+  } else if (algo == "edf3") {
+    schedule = solveEdfLevels(inst).schedule;
+  } else if (algo == "frlp") {
+    const DsctLp lpModel = buildFractionalLp(inst);
+    lp::LpOptions options;
+    options.timeLimitSeconds = args.getDouble("time-limit", -1.0);
+    const lp::LpResult res = lp::solveLp(lpModel.model, options);
+    std::cout << "LP status      : " << lp::toString(res.status) << '\n'
+              << "LP objective   : " << res.objective << '\n';
+    return res.status == lp::SolveStatus::kOptimal ? 0 : 2;
+  } else if (algo == "mip") {
+    lp::MipOptions options;
+    options.timeLimitSeconds = args.getDouble("time-limit", 60.0);
+    const ApproxResult warm = solveApprox(inst);
+    const MipSolveSummary summary = solveDsctMip(inst, options, &warm.schedule);
+    std::cout << "MIP status     : " << lp::toString(summary.result.status)
+              << " (nodes " << summary.result.nodes << ", bound "
+              << summary.result.bestBound << ")\n";
+    if (!summary.schedule.has_value()) return 2;
+    schedule = *summary.schedule;
+  } else {
+    return usage();
+  }
+  printSummary(inst, *schedule, algo);
+  if (args.has("gantt")) {
+    std::cout << '\n' << renderGantt(inst, *schedule);
+  }
+  if (args.has("out")) {
+    io::writeScheduleFile(args.get("out", ""), *schedule);
+    std::cout << "schedule       : written to " << args.get("out", "") << '\n';
+  }
+  return 0;
+}
+
+int cmdInfo(const Args& args) {
+  if (args.positional.size() != 1) return usage();
+  const Instance inst = io::readInstanceFile(args.positional[0]);
+  std::cout << "tasks          : " << inst.numTasks() << '\n'
+            << "machines       : " << inst.numMachines() << '\n'
+            << "energy budget  : " << inst.energyBudget() << " J\n"
+            << "horizon d_max  : " << inst.maxDeadline() << " s\n"
+            << "total work     : " << inst.totalFmax() << " TFLOP\n"
+            << "cluster speed  : " << inst.totalSpeed() << " TFLOPS\n"
+            << "cluster power  : " << inst.totalPower() << " W\n";
+  Table machines({"machine", "TFLOPS", "GFLOPS/W", "W"});
+  for (const Machine& m : inst.machines()) {
+    machines.addRow({m.name, formatFixed(m.speed, 2),
+                     formatFixed(m.efficiency * 1e3, 1),
+                     formatFixed(m.power(), 0)});
+  }
+  machines.print(std::cout);
+  if (args.has("tasks")) {
+    Table tasks({"task", "deadline (s)", "fmax (TFLOP)", "amax", "theta"});
+    for (const Task& t : inst.tasks()) {
+      tasks.addRow({t.name, formatFixed(t.deadline, 4),
+                    formatFixed(t.fmax(), 3), formatFixed(t.amax(), 3),
+                    formatFixed(t.accuracy.theta(), 3)});
+    }
+    tasks.print(std::cout);
+  }
+  const GuaranteeBreakdown g = approximationGuarantee(inst);
+  std::cout << "approx bound G : " << g.g << " (theta range " << g.thetaMin
+            << " .. " << g.thetaMax << ")\n";
+  return 0;
+}
+
+int cmdValidate(const Args& args) {
+  if (args.positional.size() != 2) return usage();
+  const Instance inst = io::readInstanceFile(args.positional[0]);
+  const IntegralSchedule schedule =
+      io::readScheduleFile(args.positional[1], inst);
+  const ValidationReport report = validate(inst, schedule);
+  std::cout << report.summary() << '\n';
+  return report.feasible ? 0 : 2;
+}
+
+int cmdSimulate(const Args& args) {
+  if (args.positional.size() != 2) return usage();
+  const Instance inst = io::readInstanceFile(args.positional[0]);
+  const IntegralSchedule schedule =
+      io::readScheduleFile(args.positional[1], inst);
+  const sim::ExecutionResult exec = sim::executeSchedule(inst, schedule);
+  std::cout << "total accuracy : " << exec.totalAccuracy << '\n'
+            << "energy         : " << exec.totalEnergy << " J\n"
+            << "makespan       : " << exec.makespan << " s\n"
+            << "deadline misses: " << exec.deadlineMisses << '\n';
+  if (args.has("trace")) std::cout << exec.trace.toString();
+  return exec.deadlineMisses == 0 ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args = parseArgs(argc, argv);
+  try {
+    if (command == "generate") return cmdGenerate(args);
+    if (command == "info") return cmdInfo(args);
+    if (command == "solve") return cmdSolve(args);
+    if (command == "validate") return cmdValidate(args);
+    if (command == "simulate") return cmdSimulate(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return usage();
+}
