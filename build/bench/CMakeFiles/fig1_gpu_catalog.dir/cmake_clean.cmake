@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_gpu_catalog.dir/fig1_gpu_catalog.cpp.o"
+  "CMakeFiles/fig1_gpu_catalog.dir/fig1_gpu_catalog.cpp.o.d"
+  "fig1_gpu_catalog"
+  "fig1_gpu_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_gpu_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

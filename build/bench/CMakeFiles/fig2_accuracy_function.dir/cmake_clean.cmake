@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_accuracy_function.dir/fig2_accuracy_function.cpp.o"
+  "CMakeFiles/fig2_accuracy_function.dir/fig2_accuracy_function.cpp.o.d"
+  "fig2_accuracy_function"
+  "fig2_accuracy_function.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_accuracy_function.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_optimality_gap.dir/fig3_optimality_gap.cpp.o"
+  "CMakeFiles/fig3_optimality_gap.dir/fig3_optimality_gap.cpp.o.d"
+  "fig3_optimality_gap"
+  "fig3_optimality_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_optimality_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

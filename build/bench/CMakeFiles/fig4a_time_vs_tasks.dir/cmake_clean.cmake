@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_time_vs_tasks.dir/fig4a_time_vs_tasks.cpp.o"
+  "CMakeFiles/fig4a_time_vs_tasks.dir/fig4a_time_vs_tasks.cpp.o.d"
+  "fig4a_time_vs_tasks"
+  "fig4a_time_vs_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_time_vs_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

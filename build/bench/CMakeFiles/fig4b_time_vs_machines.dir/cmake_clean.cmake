@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_time_vs_machines.dir/fig4b_time_vs_machines.cpp.o"
+  "CMakeFiles/fig4b_time_vs_machines.dir/fig4b_time_vs_machines.cpp.o.d"
+  "fig4b_time_vs_machines"
+  "fig4b_time_vs_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_time_vs_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

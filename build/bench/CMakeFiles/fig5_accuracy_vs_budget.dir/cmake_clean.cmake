@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_accuracy_vs_budget.dir/fig5_accuracy_vs_budget.cpp.o"
+  "CMakeFiles/fig5_accuracy_vs_budget.dir/fig5_accuracy_vs_budget.cpp.o.d"
+  "fig5_accuracy_vs_budget"
+  "fig5_accuracy_vs_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_accuracy_vs_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_accuracy_vs_budget.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_energy_profiles.dir/fig6_energy_profiles.cpp.o"
+  "CMakeFiles/fig6_energy_profiles.dir/fig6_energy_profiles.cpp.o.d"
+  "fig6_energy_profiles"
+  "fig6_energy_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_energy_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

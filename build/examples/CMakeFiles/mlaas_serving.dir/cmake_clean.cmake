@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlaas_serving.dir/mlaas_serving.cpp.o"
+  "CMakeFiles/mlaas_serving.dir/mlaas_serving.cpp.o.d"
+  "mlaas_serving"
+  "mlaas_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlaas_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

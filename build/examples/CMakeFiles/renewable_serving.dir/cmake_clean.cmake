@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/renewable_serving.dir/renewable_serving.cpp.o"
+  "CMakeFiles/renewable_serving.dir/renewable_serving.cpp.o.d"
+  "renewable_serving"
+  "renewable_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/renewable_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accuracy/exponential.cpp" "src/accuracy/CMakeFiles/dsct_accuracy.dir/exponential.cpp.o" "gcc" "src/accuracy/CMakeFiles/dsct_accuracy.dir/exponential.cpp.o.d"
+  "/root/repo/src/accuracy/fit.cpp" "src/accuracy/CMakeFiles/dsct_accuracy.dir/fit.cpp.o" "gcc" "src/accuracy/CMakeFiles/dsct_accuracy.dir/fit.cpp.o.d"
+  "/root/repo/src/accuracy/levels.cpp" "src/accuracy/CMakeFiles/dsct_accuracy.dir/levels.cpp.o" "gcc" "src/accuracy/CMakeFiles/dsct_accuracy.dir/levels.cpp.o.d"
+  "/root/repo/src/accuracy/piecewise.cpp" "src/accuracy/CMakeFiles/dsct_accuracy.dir/piecewise.cpp.o" "gcc" "src/accuracy/CMakeFiles/dsct_accuracy.dir/piecewise.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dsct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsct_accuracy.dir/exponential.cpp.o"
+  "CMakeFiles/dsct_accuracy.dir/exponential.cpp.o.d"
+  "CMakeFiles/dsct_accuracy.dir/fit.cpp.o"
+  "CMakeFiles/dsct_accuracy.dir/fit.cpp.o.d"
+  "CMakeFiles/dsct_accuracy.dir/levels.cpp.o"
+  "CMakeFiles/dsct_accuracy.dir/levels.cpp.o.d"
+  "CMakeFiles/dsct_accuracy.dir/piecewise.cpp.o"
+  "CMakeFiles/dsct_accuracy.dir/piecewise.cpp.o.d"
+  "libdsct_accuracy.a"
+  "libdsct_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsct_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/edf_levels.cpp" "src/baselines/CMakeFiles/dsct_baselines.dir/edf_levels.cpp.o" "gcc" "src/baselines/CMakeFiles/dsct_baselines.dir/edf_levels.cpp.o.d"
+  "/root/repo/src/baselines/edf_nocompress.cpp" "src/baselines/CMakeFiles/dsct_baselines.dir/edf_nocompress.cpp.o" "gcc" "src/baselines/CMakeFiles/dsct_baselines.dir/edf_nocompress.cpp.o.d"
+  "/root/repo/src/baselines/levels_opt.cpp" "src/baselines/CMakeFiles/dsct_baselines.dir/levels_opt.cpp.o" "gcc" "src/baselines/CMakeFiles/dsct_baselines.dir/levels_opt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/dsct_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/accuracy/CMakeFiles/dsct_accuracy.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/dsct_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dsct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsct_baselines.dir/edf_levels.cpp.o"
+  "CMakeFiles/dsct_baselines.dir/edf_levels.cpp.o.d"
+  "CMakeFiles/dsct_baselines.dir/edf_nocompress.cpp.o"
+  "CMakeFiles/dsct_baselines.dir/edf_nocompress.cpp.o.d"
+  "CMakeFiles/dsct_baselines.dir/levels_opt.cpp.o"
+  "CMakeFiles/dsct_baselines.dir/levels_opt.cpp.o.d"
+  "libdsct_baselines.a"
+  "libdsct_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsct_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsct_experiments.dir/report.cpp.o"
+  "CMakeFiles/dsct_experiments.dir/report.cpp.o.d"
+  "CMakeFiles/dsct_experiments.dir/runner.cpp.o"
+  "CMakeFiles/dsct_experiments.dir/runner.cpp.o.d"
+  "CMakeFiles/dsct_experiments.dir/scenarios.cpp.o"
+  "CMakeFiles/dsct_experiments.dir/scenarios.cpp.o.d"
+  "libdsct_experiments.a"
+  "libdsct_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsct_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsct_io.dir/instance_io.cpp.o"
+  "CMakeFiles/dsct_io.dir/instance_io.cpp.o.d"
+  "libdsct_io.a"
+  "libdsct_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsct_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

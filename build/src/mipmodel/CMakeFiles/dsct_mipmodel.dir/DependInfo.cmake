@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mipmodel/dsct_lp.cpp" "src/mipmodel/CMakeFiles/dsct_mipmodel.dir/dsct_lp.cpp.o" "gcc" "src/mipmodel/CMakeFiles/dsct_mipmodel.dir/dsct_lp.cpp.o.d"
+  "/root/repo/src/mipmodel/dsct_mip.cpp" "src/mipmodel/CMakeFiles/dsct_mipmodel.dir/dsct_mip.cpp.o" "gcc" "src/mipmodel/CMakeFiles/dsct_mipmodel.dir/dsct_mip.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/dsct_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/dsct_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/accuracy/CMakeFiles/dsct_accuracy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dsct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

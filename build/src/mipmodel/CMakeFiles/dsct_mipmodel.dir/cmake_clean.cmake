@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsct_mipmodel.dir/dsct_lp.cpp.o"
+  "CMakeFiles/dsct_mipmodel.dir/dsct_lp.cpp.o.d"
+  "CMakeFiles/dsct_mipmodel.dir/dsct_mip.cpp.o"
+  "CMakeFiles/dsct_mipmodel.dir/dsct_mip.cpp.o.d"
+  "libdsct_mipmodel.a"
+  "libdsct_mipmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsct_mipmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dsct_mipmodel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/approx.cpp" "src/sched/CMakeFiles/dsct_sched.dir/approx.cpp.o" "gcc" "src/sched/CMakeFiles/dsct_sched.dir/approx.cpp.o.d"
+  "/root/repo/src/sched/energy_profile.cpp" "src/sched/CMakeFiles/dsct_sched.dir/energy_profile.cpp.o" "gcc" "src/sched/CMakeFiles/dsct_sched.dir/energy_profile.cpp.o.d"
+  "/root/repo/src/sched/fr_opt.cpp" "src/sched/CMakeFiles/dsct_sched.dir/fr_opt.cpp.o" "gcc" "src/sched/CMakeFiles/dsct_sched.dir/fr_opt.cpp.o.d"
+  "/root/repo/src/sched/guarantee.cpp" "src/sched/CMakeFiles/dsct_sched.dir/guarantee.cpp.o" "gcc" "src/sched/CMakeFiles/dsct_sched.dir/guarantee.cpp.o.d"
+  "/root/repo/src/sched/kkt.cpp" "src/sched/CMakeFiles/dsct_sched.dir/kkt.cpp.o" "gcc" "src/sched/CMakeFiles/dsct_sched.dir/kkt.cpp.o.d"
+  "/root/repo/src/sched/naive_solution.cpp" "src/sched/CMakeFiles/dsct_sched.dir/naive_solution.cpp.o" "gcc" "src/sched/CMakeFiles/dsct_sched.dir/naive_solution.cpp.o.d"
+  "/root/repo/src/sched/refine_profile.cpp" "src/sched/CMakeFiles/dsct_sched.dir/refine_profile.cpp.o" "gcc" "src/sched/CMakeFiles/dsct_sched.dir/refine_profile.cpp.o.d"
+  "/root/repo/src/sched/render.cpp" "src/sched/CMakeFiles/dsct_sched.dir/render.cpp.o" "gcc" "src/sched/CMakeFiles/dsct_sched.dir/render.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/sched/CMakeFiles/dsct_sched.dir/schedule.cpp.o" "gcc" "src/sched/CMakeFiles/dsct_sched.dir/schedule.cpp.o.d"
+  "/root/repo/src/sched/single_machine.cpp" "src/sched/CMakeFiles/dsct_sched.dir/single_machine.cpp.o" "gcc" "src/sched/CMakeFiles/dsct_sched.dir/single_machine.cpp.o.d"
+  "/root/repo/src/sched/types.cpp" "src/sched/CMakeFiles/dsct_sched.dir/types.cpp.o" "gcc" "src/sched/CMakeFiles/dsct_sched.dir/types.cpp.o.d"
+  "/root/repo/src/sched/validator.cpp" "src/sched/CMakeFiles/dsct_sched.dir/validator.cpp.o" "gcc" "src/sched/CMakeFiles/dsct_sched.dir/validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/accuracy/CMakeFiles/dsct_accuracy.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/dsct_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dsct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

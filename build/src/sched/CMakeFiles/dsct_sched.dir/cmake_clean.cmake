@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsct_sched.dir/approx.cpp.o"
+  "CMakeFiles/dsct_sched.dir/approx.cpp.o.d"
+  "CMakeFiles/dsct_sched.dir/energy_profile.cpp.o"
+  "CMakeFiles/dsct_sched.dir/energy_profile.cpp.o.d"
+  "CMakeFiles/dsct_sched.dir/fr_opt.cpp.o"
+  "CMakeFiles/dsct_sched.dir/fr_opt.cpp.o.d"
+  "CMakeFiles/dsct_sched.dir/guarantee.cpp.o"
+  "CMakeFiles/dsct_sched.dir/guarantee.cpp.o.d"
+  "CMakeFiles/dsct_sched.dir/kkt.cpp.o"
+  "CMakeFiles/dsct_sched.dir/kkt.cpp.o.d"
+  "CMakeFiles/dsct_sched.dir/naive_solution.cpp.o"
+  "CMakeFiles/dsct_sched.dir/naive_solution.cpp.o.d"
+  "CMakeFiles/dsct_sched.dir/refine_profile.cpp.o"
+  "CMakeFiles/dsct_sched.dir/refine_profile.cpp.o.d"
+  "CMakeFiles/dsct_sched.dir/render.cpp.o"
+  "CMakeFiles/dsct_sched.dir/render.cpp.o.d"
+  "CMakeFiles/dsct_sched.dir/schedule.cpp.o"
+  "CMakeFiles/dsct_sched.dir/schedule.cpp.o.d"
+  "CMakeFiles/dsct_sched.dir/single_machine.cpp.o"
+  "CMakeFiles/dsct_sched.dir/single_machine.cpp.o.d"
+  "CMakeFiles/dsct_sched.dir/types.cpp.o"
+  "CMakeFiles/dsct_sched.dir/types.cpp.o.d"
+  "CMakeFiles/dsct_sched.dir/validator.cpp.o"
+  "CMakeFiles/dsct_sched.dir/validator.cpp.o.d"
+  "libdsct_sched.a"
+  "libdsct_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsct_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster.cpp" "src/sim/CMakeFiles/dsct_sim.dir/cluster.cpp.o" "gcc" "src/sim/CMakeFiles/dsct_sim.dir/cluster.cpp.o.d"
+  "/root/repo/src/sim/renewable.cpp" "src/sim/CMakeFiles/dsct_sim.dir/renewable.cpp.o" "gcc" "src/sim/CMakeFiles/dsct_sim.dir/renewable.cpp.o.d"
+  "/root/repo/src/sim/serving.cpp" "src/sim/CMakeFiles/dsct_sim.dir/serving.cpp.o" "gcc" "src/sim/CMakeFiles/dsct_sim.dir/serving.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/dsct_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/dsct_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/dsct_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dsct_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/accuracy/CMakeFiles/dsct_accuracy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dsct_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/dsct_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsct_sim.dir/cluster.cpp.o"
+  "CMakeFiles/dsct_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/dsct_sim.dir/renewable.cpp.o"
+  "CMakeFiles/dsct_sim.dir/renewable.cpp.o.d"
+  "CMakeFiles/dsct_sim.dir/serving.cpp.o"
+  "CMakeFiles/dsct_sim.dir/serving.cpp.o.d"
+  "CMakeFiles/dsct_sim.dir/trace.cpp.o"
+  "CMakeFiles/dsct_sim.dir/trace.cpp.o.d"
+  "libdsct_sim.a"
+  "libdsct_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsct_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

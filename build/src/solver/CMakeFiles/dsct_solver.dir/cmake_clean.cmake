@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsct_solver.dir/mip.cpp.o"
+  "CMakeFiles/dsct_solver.dir/mip.cpp.o.d"
+  "CMakeFiles/dsct_solver.dir/model.cpp.o"
+  "CMakeFiles/dsct_solver.dir/model.cpp.o.d"
+  "CMakeFiles/dsct_solver.dir/presolve.cpp.o"
+  "CMakeFiles/dsct_solver.dir/presolve.cpp.o.d"
+  "CMakeFiles/dsct_solver.dir/simplex.cpp.o"
+  "CMakeFiles/dsct_solver.dir/simplex.cpp.o.d"
+  "libdsct_solver.a"
+  "libdsct_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsct_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

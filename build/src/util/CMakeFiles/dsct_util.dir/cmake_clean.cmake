@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsct_util.dir/csv.cpp.o"
+  "CMakeFiles/dsct_util.dir/csv.cpp.o.d"
+  "CMakeFiles/dsct_util.dir/stats.cpp.o"
+  "CMakeFiles/dsct_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dsct_util.dir/table.cpp.o"
+  "CMakeFiles/dsct_util.dir/table.cpp.o.d"
+  "CMakeFiles/dsct_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/dsct_util.dir/thread_pool.cpp.o.d"
+  "libdsct_util.a"
+  "libdsct_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsct_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/arrivals.cpp" "src/workload/CMakeFiles/dsct_workload.dir/arrivals.cpp.o" "gcc" "src/workload/CMakeFiles/dsct_workload.dir/arrivals.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/dsct_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/dsct_workload.dir/generator.cpp.o.d"
+  "/root/repo/src/workload/gpu_catalog.cpp" "src/workload/CMakeFiles/dsct_workload.dir/gpu_catalog.cpp.o" "gcc" "src/workload/CMakeFiles/dsct_workload.dir/gpu_catalog.cpp.o.d"
+  "/root/repo/src/workload/model_catalog.cpp" "src/workload/CMakeFiles/dsct_workload.dir/model_catalog.cpp.o" "gcc" "src/workload/CMakeFiles/dsct_workload.dir/model_catalog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/dsct_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/accuracy/CMakeFiles/dsct_accuracy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dsct_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/dsct_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsct_workload.dir/arrivals.cpp.o"
+  "CMakeFiles/dsct_workload.dir/arrivals.cpp.o.d"
+  "CMakeFiles/dsct_workload.dir/generator.cpp.o"
+  "CMakeFiles/dsct_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/dsct_workload.dir/gpu_catalog.cpp.o"
+  "CMakeFiles/dsct_workload.dir/gpu_catalog.cpp.o.d"
+  "CMakeFiles/dsct_workload.dir/model_catalog.cpp.o"
+  "CMakeFiles/dsct_workload.dir/model_catalog.cpp.o.d"
+  "libdsct_workload.a"
+  "libdsct_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsct_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accuracy_property_test.dir/accuracy_property_test.cpp.o"
+  "CMakeFiles/accuracy_property_test.dir/accuracy_property_test.cpp.o.d"
+  "accuracy_property_test"
+  "accuracy_property_test.pdb"
+  "accuracy_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accuracy_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accuracy_test.dir/accuracy_test.cpp.o"
+  "CMakeFiles/accuracy_test.dir/accuracy_test.cpp.o.d"
+  "accuracy_test"
+  "accuracy_test.pdb"
+  "accuracy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accuracy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

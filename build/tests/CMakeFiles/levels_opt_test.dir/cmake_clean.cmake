@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/levels_opt_test.dir/levels_opt_test.cpp.o"
+  "CMakeFiles/levels_opt_test.dir/levels_opt_test.cpp.o.d"
+  "levels_opt_test"
+  "levels_opt_test.pdb"
+  "levels_opt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/levels_opt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mipmodel_test.dir/mipmodel_test.cpp.o"
+  "CMakeFiles/mipmodel_test.dir/mipmodel_test.cpp.o.d"
+  "mipmodel_test"
+  "mipmodel_test.pdb"
+  "mipmodel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mipmodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_sweep_test.dir/pipeline_sweep_test.cpp.o"
+  "CMakeFiles/pipeline_sweep_test.dir/pipeline_sweep_test.cpp.o.d"
+  "pipeline_sweep_test"
+  "pipeline_sweep_test.pdb"
+  "pipeline_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_approx_test.dir/sched_approx_test.cpp.o"
+  "CMakeFiles/sched_approx_test.dir/sched_approx_test.cpp.o.d"
+  "sched_approx_test"
+  "sched_approx_test.pdb"
+  "sched_approx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_approx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sched_fr_opt_test.cpp" "tests/CMakeFiles/sched_fr_opt_test.dir/sched_fr_opt_test.cpp.o" "gcc" "tests/CMakeFiles/sched_fr_opt_test.dir/sched_fr_opt_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dsct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/experiments/CMakeFiles/dsct_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/mipmodel/CMakeFiles/dsct_mipmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dsct_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dsct_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/dsct_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/dsct_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/accuracy/CMakeFiles/dsct_accuracy.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/dsct_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dsct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

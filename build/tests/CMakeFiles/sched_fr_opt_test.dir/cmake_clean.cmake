@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_fr_opt_test.dir/sched_fr_opt_test.cpp.o"
+  "CMakeFiles/sched_fr_opt_test.dir/sched_fr_opt_test.cpp.o.d"
+  "sched_fr_opt_test"
+  "sched_fr_opt_test.pdb"
+  "sched_fr_opt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_fr_opt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

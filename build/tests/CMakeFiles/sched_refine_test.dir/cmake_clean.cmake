@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_refine_test.dir/sched_refine_test.cpp.o"
+  "CMakeFiles/sched_refine_test.dir/sched_refine_test.cpp.o.d"
+  "sched_refine_test"
+  "sched_refine_test.pdb"
+  "sched_refine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_refine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

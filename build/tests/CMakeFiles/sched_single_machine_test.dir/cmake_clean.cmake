@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_single_machine_test.dir/sched_single_machine_test.cpp.o"
+  "CMakeFiles/sched_single_machine_test.dir/sched_single_machine_test.cpp.o.d"
+  "sched_single_machine_test"
+  "sched_single_machine_test.pdb"
+  "sched_single_machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_single_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_topup_test.dir/sched_topup_test.cpp.o"
+  "CMakeFiles/sched_topup_test.dir/sched_topup_test.cpp.o.d"
+  "sched_topup_test"
+  "sched_topup_test.pdb"
+  "sched_topup_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_topup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_types_test.dir/sched_types_test.cpp.o"
+  "CMakeFiles/sched_types_test.dir/sched_types_test.cpp.o.d"
+  "sched_types_test"
+  "sched_types_test.pdb"
+  "sched_types_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_types_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serving_backlog_test.dir/serving_backlog_test.cpp.o"
+  "CMakeFiles/serving_backlog_test.dir/serving_backlog_test.cpp.o.d"
+  "serving_backlog_test"
+  "serving_backlog_test.pdb"
+  "serving_backlog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serving_backlog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

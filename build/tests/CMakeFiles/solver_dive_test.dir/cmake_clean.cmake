@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_dive_test.dir/solver_dive_test.cpp.o"
+  "CMakeFiles/solver_dive_test.dir/solver_dive_test.cpp.o.d"
+  "solver_dive_test"
+  "solver_dive_test.pdb"
+  "solver_dive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_dive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_presolve_test.dir/solver_presolve_test.cpp.o"
+  "CMakeFiles/solver_presolve_test.dir/solver_presolve_test.cpp.o.d"
+  "solver_presolve_test"
+  "solver_presolve_test.pdb"
+  "solver_presolve_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_presolve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

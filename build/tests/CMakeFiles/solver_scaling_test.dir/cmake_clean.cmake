@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_scaling_test.dir/solver_scaling_test.cpp.o"
+  "CMakeFiles/solver_scaling_test.dir/solver_scaling_test.cpp.o.d"
+  "solver_scaling_test"
+  "solver_scaling_test.pdb"
+  "solver_scaling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_scaling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

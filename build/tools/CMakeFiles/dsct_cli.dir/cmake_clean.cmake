@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsct_cli.dir/dsct_cli.cpp.o"
+  "CMakeFiles/dsct_cli.dir/dsct_cli.cpp.o.d"
+  "dsct_cli"
+  "dsct_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsct_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
