@@ -41,13 +41,49 @@ void BM_NaiveSolution(benchmark::State& state) {
 }
 BENCHMARK(BM_NaiveSolution)->Range(16, 512);
 
+// Exports the solve's work counters (per solve, not per iteration) so the
+// report shows how many fused evaluations, cache hits and direction-LP
+// solves one FR-OPT run costs at each size.
+void reportFrOptCounters(benchmark::State& state, const FrOptCounters& c) {
+  state.counters["evals"] = static_cast<double>(c.evaluations);
+  state.counters["cache_hits"] = static_cast<double>(c.cacheHits);
+  state.counters["dir_lps"] = static_cast<double>(c.directionLpSolves);
+  state.counters["sched_solves"] = static_cast<double>(c.scheduleSolves);
+}
+
 void BM_FrOpt(benchmark::State& state) {
   const Instance inst = makeBenchInstance(static_cast<int>(state.range(0)), 5);
+  FrOptCounters counters;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(solveFrOpt(inst));
+    FrOptResult res = solveFrOpt(inst);
+    counters = res.counters;
+    benchmark::DoNotOptimize(res);
   }
+  reportFrOptCounters(state, counters);
 }
 BENCHMARK(BM_FrOpt)->Range(16, 256);
+
+void BM_FrOptParallel(benchmark::State& state) {
+  const Instance inst = makeBenchInstance(static_cast<int>(state.range(0)), 5);
+  // Parallel mode must reproduce the serial result bit for bit (pure
+  // evaluations, index-ordered reductions); bail out loudly if it ever
+  // diverges rather than timing a wrong computation.
+  FrOptOptions options;
+  options.threads = 2;
+  const double serialAccuracy = solveFrOpt(inst).totalAccuracy;
+  if (solveFrOpt(inst, options).totalAccuracy != serialAccuracy) {
+    state.SkipWithError("parallel accuracy diverged from serial");
+    return;
+  }
+  FrOptCounters counters;
+  for (auto _ : state) {
+    FrOptResult res = solveFrOpt(inst, options);
+    counters = res.counters;
+    benchmark::DoNotOptimize(res);
+  }
+  reportFrOptCounters(state, counters);
+}
+BENCHMARK(BM_FrOptParallel)->Range(16, 256);
 
 void BM_Approx(benchmark::State& state) {
   const Instance inst = makeBenchInstance(static_cast<int>(state.range(0)), 5);

@@ -195,6 +195,10 @@ std::vector<Table1Row> runTable1(const Table1Config& config,
       Stopwatch watch;
       const FrOptResult fr = solveFrOpt(inst);
       row.frOptSeconds.add(watch.elapsedSeconds());
+      row.frEvaluations.add(static_cast<double>(fr.counters.evaluations));
+      row.frCacheHits.add(static_cast<double>(fr.counters.cacheHits));
+      row.frDirectionLps.add(
+          static_cast<double>(fr.counters.directionLpSolves));
 
       DsctLp lpModel = buildFractionalLp(inst);
       if (tableauBytes(lpModel.model) > kMaxTableauBytes) {

@@ -101,6 +101,10 @@ struct Table1Row {
   RunningStats lpSeconds;
   int lpTimeouts = 0;
   RunningStats objectiveDiff;  ///< |FR-OPT − LP| when the LP finished
+  // FR-OPT work counters (per solve), from FrOptResult::counters.
+  RunningStats frEvaluations;  ///< fused profile evaluations
+  RunningStats frCacheHits;    ///< memoised evaluations served
+  RunningStats frDirectionLps; ///< direction-search LP solves
 };
 
 std::vector<Table1Row> runTable1(const Table1Config& config,

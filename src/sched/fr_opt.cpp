@@ -1,15 +1,21 @@
 #include "sched/fr_opt.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
+#include <vector>
 
 #include "sched/naive_solution.h"
 #include "solver/model.h"
 #include "solver/simplex.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace dsct {
 
 namespace {
+
+constexpr double kImprovementTol = 1e-10;
 
 /// Grant unused budget to machines below the horizon, most efficient first.
 /// With strict deadlines the funded machines cannot always absorb their
@@ -56,11 +62,126 @@ std::vector<EnergyProfile> expansionCandidates(const Instance& inst,
 
 }  // namespace
 
+std::optional<PairMove> bestPairMove(const Instance& inst,
+                                     const ProfileEvaluator& evaluator,
+                                     const EnergyProfile& loads,
+                                     double baseAccuracy, ThreadPool* pool) {
+  const double horizon = inst.maxDeadline();
+  const int m = inst.numMachines();
+
+  struct Direction {
+    int from;
+    int to;
+    double cap;  ///< largest energy-conserving transfer (J)
+  };
+  std::vector<Direction> directions;
+  for (int from = 0; from < m; ++from) {
+    const double available =
+        loads[static_cast<std::size_t>(from)] * inst.machine(from).power();
+    if (available <= 1e-12) continue;
+    for (int to = 0; to < m; ++to) {
+      if (to == from) continue;
+      // The recipient can absorb at most its headroom to the horizon. A
+      // larger transfer would have to clamp the recipient while still
+      // deducting the full delta from the donor — destroying energy — so
+      // the probe values past this cap are meaningless and the old
+      // uncapped screen (probes at available/2, available/64, available)
+      // could dismiss a direction whose entire improvement region lies
+      // within the much smaller cap.
+      const double headroom = (horizon - loads[static_cast<std::size_t>(to)]) *
+                              inst.machine(to).power();
+      const double cap = std::min(available, headroom);
+      if (cap <= 1e-12) continue;
+      directions.push_back({from, to, cap});
+    }
+  }
+
+  // Each direction is an independent concave 1-D search against the shared
+  // base loads: pure work, fanned across the pool when one is given. The
+  // reduction below is index-ordered, so serial and parallel runs pick the
+  // same move.
+  const auto probe = [&](std::size_t k) -> PairMove {
+    const Direction& dir = directions[k];
+    const double powerFrom = inst.machine(dir.from).power();
+    const double powerTo = inst.machine(dir.to).power();
+    const auto valueAt = [&](double delta) {
+      EnergyProfile profile = loads;
+      profile[static_cast<std::size_t>(dir.from)] -= delta / powerFrom;
+      // delta <= cap keeps the recipient at or below the horizon: energy is
+      // conserved without clamping.
+      profile[static_cast<std::size_t>(dir.to)] += delta / powerTo;
+      return evaluator.evaluate(profile);
+    };
+    PairMove move;
+    move.from = dir.from;
+    move.to = dir.to;
+    move.accuracy = baseAccuracy;
+    // Quick screen: skip directions with no improvement anywhere.
+    if (valueAt(dir.cap / 2.0) <= baseAccuracy + kImprovementTol &&
+        valueAt(dir.cap / 64.0) <= baseAccuracy + kImprovementTol &&
+        valueAt(dir.cap) <= baseAccuracy + kImprovementTol) {
+      return move;  // not improving; filtered by the reduction
+    }
+    // V(delta) is concave (LP value of its right-hand side): ternary search
+    // pins the best transfer size along this direction.
+    double lo = 0.0;
+    double hi = dir.cap;
+    for (int iter = 0; iter < 48 && hi - lo > 1e-12 * dir.cap; ++iter) {
+      const double m1 = lo + (hi - lo) / 3.0;
+      const double m2 = hi - (hi - lo) / 3.0;
+      if (valueAt(m1) < valueAt(m2)) {
+        lo = m1;
+      } else {
+        hi = m2;
+      }
+    }
+    move.delta = (lo + hi) / 2.0;
+    move.profile = loads;
+    move.profile[static_cast<std::size_t>(dir.from)] -= move.delta / powerFrom;
+    move.profile[static_cast<std::size_t>(dir.to)] += move.delta / powerTo;
+    move.accuracy = evaluator.evaluate(move.profile);
+    return move;
+  };
+
+  std::vector<PairMove> moves;
+  if (pool != nullptr && directions.size() > 1) {
+    moves = pool->parallelMap(directions.size(), probe);
+  } else {
+    moves.reserve(directions.size());
+    for (std::size_t k = 0; k < directions.size(); ++k) {
+      moves.push_back(probe(k));
+    }
+  }
+
+  std::optional<PairMove> best;
+  for (PairMove& move : moves) {
+    if (move.accuracy <= baseAccuracy + kImprovementTol) continue;
+    if (!best || move.accuracy > best->accuracy) best = std::move(move);
+  }
+  return best;
+}
+
 FrOptResult solveFrOpt(const Instance& inst,
                        const RefineOptions& refineOptions) {
+  FrOptOptions options;
+  options.refine = refineOptions;
+  return solveFrOpt(inst, options);
+}
+
+FrOptResult solveFrOpt(const Instance& inst, const FrOptOptions& options) {
+  const Stopwatch totalWatch;
+  ProfileEvaluator evaluator(inst);
+
+  std::unique_ptr<ThreadPool> ownedPool;
+  ThreadPool* pool = options.pool;
+  if (pool == nullptr && options.threads > 0) {
+    ownedPool = std::make_unique<ThreadPool>(options.threads);
+    pool = ownedPool.get();
+  }
+
   NaiveSolution naive = computeNaiveSolution(inst);
   FrOptResult result{std::move(naive.schedule), std::move(naive.profile),
-                     {}, {}, 0.0, 0.0};
+                     {}, {}, {}, 0.0, 0.0};
 
   // Alternate three fixed-point steps until none improves:
   //  * expandProfile — spend leftover budget on additional parallel
@@ -72,69 +193,40 @@ FrOptResult solveFrOpt(const Instance& inst,
   // The plain paper pipeline is one refine pass; the extra steps repair the
   // cases a transfer-only pass cannot reach (DESIGN.md §6).
   constexpr int kMaxOuterRounds = 16;
-  constexpr double kImprovementTol = 1e-10;
-  const auto maybeAdopt = [&](FractionalSchedule candidate) {
-    if (candidate.totalAccuracy(inst) >
-        result.schedule.totalAccuracy(inst) + kImprovementTol) {
-      result.schedule = std::move(candidate);
-      return true;
+  double currentAccuracy = result.schedule.totalAccuracy(inst);
+
+  // Adopt `profile` when it beats the incumbent. The fused evaluator value
+  // screens candidates cheaply; a full schedule is materialised only on
+  // improvement, and the final comparison re-checks on the materialised
+  // accuracy (it can differ from the fused sum in the last ulp).
+  const auto maybeAdoptProfile = [&](const EnergyProfile& profile) {
+    if (evaluator.cached(profile) <= currentAccuracy + kImprovementTol) {
+      return false;
     }
-    return false;
+    FractionalSchedule candidate = evaluator.schedule(profile);
+    const double accuracy = candidate.totalAccuracy(inst);
+    if (accuracy <= currentAccuracy + kImprovementTol) return false;
+    result.schedule = std::move(candidate);
+    currentAccuracy = accuracy;
+    return true;
   };
 
   // Escape step for plateaus of the first-order moves: move a quantum of
-  // *profile energy* from machine r to machine r' and re-solve. Because the
-  // optimal value is a concave function of the profile vector (LP value of
-  // its RHS), a pairwise line search over transfer sizes recovers composite
-  // moves that single (segment, machine) transfers cannot express.
+  // *profile energy* between machines and re-solve. Because the optimal
+  // value is a concave function of the profile vector (LP value of its
+  // RHS), a pairwise line search over transfer sizes recovers composite
+  // moves that single (segment, machine) transfers cannot express. Best-
+  // improvement rounds: every direction is probed against the same base,
+  // the best move is adopted, then the search restarts from the new loads.
   const auto pairSearch = [&]() {
-    const double horizon = inst.maxDeadline();
     bool improved = false;
-    for (int from = 0; from < inst.numMachines(); ++from) {
-      for (int to = 0; to < inst.numMachines(); ++to) {
-        if (to == from) continue;
-        const EnergyProfile loads = result.schedule.machineLoads();
-        const double available = loads[static_cast<std::size_t>(from)] *
-                                 inst.machine(from).power();
-        if (available <= 1e-12) continue;
-        const auto valueAt = [&](double delta) {
-          EnergyProfile profile = loads;
-          profile[static_cast<std::size_t>(from)] -=
-              delta / inst.machine(from).power();
-          profile[static_cast<std::size_t>(to)] =
-              std::min(horizon, profile[static_cast<std::size_t>(to)] +
-                                    delta / inst.machine(to).power());
-          return solveForProfile(inst, profile).totalAccuracy(inst);
-        };
-        // V(delta) is concave (LP value of its right-hand side): ternary
-        // search pins the best transfer size along this direction.
-        double lo = 0.0;
-        double hi = available;
-        const double base = result.schedule.totalAccuracy(inst);
-        // Quick screen: skip directions with no improvement anywhere.
-        if (valueAt(hi / 2.0) <= base + kImprovementTol &&
-            valueAt(hi / 64.0) <= base + kImprovementTol &&
-            valueAt(hi) <= base + kImprovementTol) {
-          continue;
-        }
-        for (int iter = 0; iter < 48 && hi - lo > 1e-12 * available; ++iter) {
-          const double m1 = lo + (hi - lo) / 3.0;
-          const double m2 = hi - (hi - lo) / 3.0;
-          if (valueAt(m1) < valueAt(m2)) {
-            lo = m1;
-          } else {
-            hi = m2;
-          }
-        }
-        const double delta = (lo + hi) / 2.0;
-        EnergyProfile profile = loads;
-        profile[static_cast<std::size_t>(from)] -=
-            delta / inst.machine(from).power();
-        profile[static_cast<std::size_t>(to)] =
-            std::min(horizon, profile[static_cast<std::size_t>(to)] +
-                                  delta / inst.machine(to).power());
-        if (maybeAdopt(solveForProfile(inst, profile))) improved = true;
-      }
+    for (;;) {
+      const EnergyProfile loads = result.schedule.machineLoads();
+      const std::optional<PairMove> move =
+          bestPairMove(inst, evaluator, loads, currentAccuracy, pool);
+      if (!move.has_value() || !maybeAdoptProfile(move->profile)) break;
+      ++result.counters.pairMoves;
+      improved = true;
     }
     return improved;
   };
@@ -151,25 +243,38 @@ FrOptResult solveFrOpt(const Instance& inst,
     const double horizon = inst.maxDeadline();
     const int m = inst.numMachines();
     bool improvedAny = false;
-    const auto value = [&](const EnergyProfile& q) {
-      return solveForProfile(inst, q).totalAccuracy(inst);
-    };
     EnergyProfile p = result.schedule.machineLoads();
     for (int iter = 0; iter < 24; ++iter) {
-      const double v0 = value(p);
+      const double v0 = evaluator.cached(p);
       const double eps = std::max(1e-10, 1e-7 * horizon);
-      std::vector<double> gainUp(static_cast<std::size_t>(m), 0.0);
-      std::vector<double> lossDown(static_cast<std::size_t>(m), 0.0);
+      // The 2m one-sided derivative probes are independent: batch them
+      // through the evaluator (fanning across the pool when given).
+      std::vector<EnergyProfile> probes;
+      std::vector<int> probeMachine;  ///< r for probe i; up if >= 0 else ~r
       for (int r = 0; r < m; ++r) {
         if (p[static_cast<std::size_t>(r)] + eps <= horizon) {
           EnergyProfile q = p;
           q[static_cast<std::size_t>(r)] += eps;
-          gainUp[static_cast<std::size_t>(r)] = (value(q) - v0) / eps;
+          probes.push_back(std::move(q));
+          probeMachine.push_back(r);
         }
         if (p[static_cast<std::size_t>(r)] >= eps) {
           EnergyProfile q = p;
           q[static_cast<std::size_t>(r)] -= eps;
-          lossDown[static_cast<std::size_t>(r)] = (v0 - value(q)) / eps;
+          probes.push_back(std::move(q));
+          probeMachine.push_back(~r);
+        }
+      }
+      const std::vector<double> probeValues = evaluator.batch(probes, pool);
+      std::vector<double> gainUp(static_cast<std::size_t>(m), 0.0);
+      std::vector<double> lossDown(static_cast<std::size_t>(m), 0.0);
+      for (std::size_t i = 0; i < probes.size(); ++i) {
+        if (probeMachine[i] >= 0) {
+          gainUp[static_cast<std::size_t>(probeMachine[i])] =
+              (probeValues[i] - v0) / eps;
+        } else {
+          lossDown[static_cast<std::size_t>(~probeMachine[i])] =
+              (v0 - probeValues[i]) / eps;
         }
       }
       // Direction LP: max Σ gainUp_r u_r − Σ lossDown_r v_r
@@ -194,6 +299,7 @@ FrOptResult solveFrOpt(const Instance& inst,
       }
       dir.addConstraint(std::move(budgetRow), lp::Sense::kLe,
                         std::max(0.0, slack));
+      ++result.counters.directionLpSolves;
       const lp::LpResult dirRes = lp::solveLp(dir);
       if (dirRes.status != lp::SolveStatus::kOptimal ||
           dirRes.objective <= 1e-9) {
@@ -220,7 +326,7 @@ FrOptResult solveFrOpt(const Instance& inst,
       for (int ls = 0; ls < 48 && hi - lo > 1e-12; ++ls) {
         const double m1 = lo + (hi - lo) / 3.0;
         const double m2 = hi - (hi - lo) / 3.0;
-        if (value(at(m1)) < value(at(m2))) {
+        if (evaluator.cached(at(m1)) < evaluator.cached(at(m2))) {
           lo = m1;
         } else {
           hi = m2;
@@ -228,46 +334,90 @@ FrOptResult solveFrOpt(const Instance& inst,
       }
       // Prefer the full step when the line search plateaus at the boundary.
       EnergyProfile next = at((lo + hi) / 2.0);
-      if (value(at(1.0)) >= value(next)) next = at(1.0);
-      if (value(next) <= v0 + kImprovementTol) break;
+      if (evaluator.cached(at(1.0)) >= evaluator.cached(next)) next = at(1.0);
+      if (evaluator.cached(next) <= v0 + kImprovementTol) break;
       p = std::move(next);
-      if (maybeAdopt(solveForProfile(inst, p))) improvedAny = true;
+      if (maybeAdoptProfile(p)) {
+        ++result.counters.directionSteps;
+        improvedAny = true;
+      }
     }
     return improvedAny;
   };
 
-  double best = result.schedule.totalAccuracy(inst);
+  double best = currentAccuracy;
   for (int round = 0; round < kMaxOuterRounds; ++round) {
-    const double leftover =
-        inst.energyBudget() - result.schedule.energy(inst);
-    if (leftover > 1e-12 * std::max(1.0, inst.energyBudget())) {
-      const EnergyProfile loads = result.schedule.machineLoads();
-      for (const EnergyProfile& candidate :
-           expansionCandidates(inst, loads, leftover)) {
-        maybeAdopt(solveForProfile(inst, candidate));
+    ++result.counters.outerRounds;
+
+    {
+      const Stopwatch watch;
+      const double leftover =
+          inst.energyBudget() - result.schedule.energy(inst);
+      if (leftover > 1e-12 * std::max(1.0, inst.energyBudget())) {
+        const EnergyProfile loads = result.schedule.machineLoads();
+        const std::vector<EnergyProfile> candidates =
+            expansionCandidates(inst, loads, leftover);
+        const std::vector<double> values = evaluator.batch(candidates, pool);
+        // Adopting only the argmax (first on ties) matches the sequential
+        // adopt-each-improving-candidate chain: the chain's final incumbent
+        // is exactly the first maximal improving candidate.
+        std::size_t bestIdx = candidates.size();
+        double bestValue = currentAccuracy + kImprovementTol;
+        for (std::size_t i = 0; i < candidates.size(); ++i) {
+          if (values[i] > bestValue) {
+            bestValue = values[i];
+            bestIdx = i;
+          }
+        }
+        if (bestIdx < candidates.size()) {
+          maybeAdoptProfile(candidates[bestIdx]);
+        }
       }
+      result.counters.expandSeconds += watch.elapsedSeconds();
     }
 
-    const RefineStats stats =
-        refineProfile(inst, result.schedule, refineOptions);
-    result.refineStats.rounds += stats.rounds;
-    result.refineStats.transfers += stats.transfers;
-    result.refineStats.energyMoved += stats.energyMoved;
+    RefineStats stats;
+    {
+      const Stopwatch watch;
+      stats = refineProfile(inst, result.schedule, options.refine);
+      result.refineStats.rounds += stats.rounds;
+      result.refineStats.transfers += stats.transfers;
+      result.refineStats.energyMoved += stats.energyMoved;
+      // refineProfile mutates the schedule in place; refresh the incumbent
+      // accuracy before re-solving for the refined loads.
+      currentAccuracy = result.schedule.totalAccuracy(inst);
+      maybeAdoptProfile(result.schedule.machineLoads());
+      result.counters.refineSeconds += watch.elapsedSeconds();
+    }
 
-    maybeAdopt(solveForProfile(inst, result.schedule.machineLoads()));
-
-    const double current = result.schedule.totalAccuracy(inst);
-    if (stats.transfers == 0 && current <= best + kImprovementTol) {
+    if (stats.transfers == 0 && currentAccuracy <= best + kImprovementTol) {
       // First-order fixed point reached: try the pairwise profile search,
       // then the Frank-Wolfe refinement, before concluding.
-      if (!pairSearch() && !directionSearch()) break;
+      bool escaped;
+      {
+        const Stopwatch watch;
+        escaped = pairSearch();
+        result.counters.pairSeconds += watch.elapsedSeconds();
+      }
+      if (!escaped) {
+        const Stopwatch watch;
+        escaped = directionSearch();
+        result.counters.directionSeconds += watch.elapsedSeconds();
+      }
+      if (!escaped) break;
     }
-    best = std::max(best, result.schedule.totalAccuracy(inst));
+    best = std::max(best, currentAccuracy);
   }
 
   result.refinedProfile = result.schedule.machineLoads();
   result.totalAccuracy = result.schedule.totalAccuracy(inst);
   result.energy = result.schedule.energy(inst);
+
+  const EvaluatorCounters ec = evaluator.counters();
+  result.counters.evaluations = ec.evaluations;
+  result.counters.cacheHits = ec.cacheHits;
+  result.counters.scheduleSolves = ec.scheduleSolves;
+  result.counters.totalSeconds = totalWatch.elapsedSeconds();
   return result;
 }
 

@@ -1,24 +1,81 @@
 // Algorithm 4 of the paper: DSCT-EA-FR-OPT — optimal solution of the
-// fractional relaxation via ComputeNaiveSolution + RefineProfile.
+// fractional relaxation via ComputeNaiveSolution + RefineProfile, with
+// profile-space escape searches driven by the ProfileEvaluator engine.
 #pragma once
 
+#include <cstddef>
+#include <optional>
+
 #include "sched/energy_profile.h"
+#include "sched/profile_evaluator.h"
 #include "sched/refine_profile.h"
 #include "sched/schedule.h"
 #include "sched/types.h"
 
 namespace dsct {
 
+class ThreadPool;
+
+/// Per-solve observability: how much work the profile searches did and where
+/// the wall time went (rendered by bench/micro_algorithms and
+/// bench/table1_fr_times).
+struct FrOptCounters {
+  long long evaluations = 0;       ///< fused profile evaluations
+  long long cacheHits = 0;         ///< memoised evaluations served
+  long long scheduleSolves = 0;    ///< full n×m schedule materialisations
+  long long directionLpSolves = 0; ///< direction-search LP solves
+  int outerRounds = 0;             ///< fixed-point rounds executed
+  int pairMoves = 0;               ///< adopted pairwise profile transfers
+  int directionSteps = 0;          ///< adopted direction-search steps
+  double expandSeconds = 0.0;      ///< wall time in expansion candidates
+  double refineSeconds = 0.0;      ///< wall time in RefineProfile
+  double pairSeconds = 0.0;        ///< wall time in the pairwise search
+  double directionSeconds = 0.0;   ///< wall time in the direction search
+  double totalSeconds = 0.0;       ///< whole solve
+};
+
+struct FrOptOptions {
+  RefineOptions refine;
+  /// Worker threads for the independent profile evaluations (expansion
+  /// candidates, pairwise directions, derivative probes). 0 runs serially;
+  /// both modes produce bit-identical schedules — evaluations are pure
+  /// functions of their profile and all reductions are index-ordered.
+  std::size_t threads = 0;
+  /// Borrowed pool (overrides `threads`). Safe to pass the pool whose worker
+  /// is running this solve: the fan-out then executes inline.
+  ThreadPool* pool = nullptr;
+};
+
 struct FrOptResult {
   FractionalSchedule schedule;
   EnergyProfile naiveProfile;    ///< profile before refinement
   EnergyProfile refinedProfile;  ///< realised machine loads after refinement
   RefineStats refineStats;
+  FrOptCounters counters;
   double totalAccuracy = 0.0;
   double energy = 0.0;  ///< Joules actually consumed
 };
 
 FrOptResult solveFrOpt(const Instance& inst,
                        const RefineOptions& refineOptions = {});
+FrOptResult solveFrOpt(const Instance& inst, const FrOptOptions& options);
+
+/// One pairwise-transfer step (exposed for testing): the best energy-moving
+/// transfer over all machine pairs starting from `loads`, or nullopt when no
+/// direction improves on `baseAccuracy`. Every probed move conserves energy:
+/// the search interval is capped at min(donor energy, headroom-to-horizon of
+/// the recipient), so no probe silently discards energy at the horizon.
+struct PairMove {
+  int from = -1;
+  int to = -1;
+  double delta = 0.0;     ///< Joules moved from `from` to `to`
+  double accuracy = 0.0;  ///< evaluator accuracy of `profile`
+  EnergyProfile profile;  ///< loads after the move
+};
+std::optional<PairMove> bestPairMove(const Instance& inst,
+                                     const ProfileEvaluator& evaluator,
+                                     const EnergyProfile& loads,
+                                     double baseAccuracy,
+                                     ThreadPool* pool = nullptr);
 
 }  // namespace dsct

@@ -31,18 +31,28 @@ std::vector<double> temporaryDeadlines(const Instance& inst,
 
 FractionalSchedule solveForProfile(const Instance& inst,
                                    const EnergyProfile& profile) {
+  // --- single-machine reduction (Algorithm 2 lines 6-9) ---
+  // On the unit-speed equivalent machine, "time" is TFLOP, so Algorithm 1
+  // returns the FLOP quota w_j of each task.
   DSCT_CHECK(static_cast<int>(profile.size()) == inst.numMachines());
+  if (inst.numTasks() == 0) {
+    return FractionalSchedule(0, inst.numMachines());
+  }
+  const std::vector<double> temp = temporaryDeadlines(inst, profile);
+  const std::vector<double> work =
+      scheduleSingleMachine(temp, 1.0, makeSegmentJobs(inst.tasks()));
+  return distributeWork(inst, profile, work);
+}
+
+FractionalSchedule distributeWork(const Instance& inst,
+                                  const EnergyProfile& profile,
+                                  const std::vector<double>& work) {
+  DSCT_CHECK(static_cast<int>(profile.size()) == inst.numMachines());
+  DSCT_CHECK(static_cast<int>(work.size()) == inst.numTasks());
   const int n = inst.numTasks();
   const int m = inst.numMachines();
   FractionalSchedule schedule(n, m);
   if (n == 0) return schedule;
-
-  // --- single-machine reduction (Algorithm 2 lines 6-9) ---
-  // On the unit-speed equivalent machine, "time" is TFLOP, so Algorithm 1
-  // returns the FLOP quota w_j of each task.
-  const std::vector<double> temp = temporaryDeadlines(inst, profile);
-  const std::vector<double> work =
-      scheduleSingleMachine(temp, 1.0, makeSegmentJobs(inst.tasks()));
 
   // --- distribute work across machines (lines 10-21) ---
   // Invariant: all machines still in the active set share a common clock T

@@ -29,6 +29,15 @@ NaiveSolution computeNaiveSolution(const Instance& inst);
 FractionalSchedule solveForProfile(const Instance& inst,
                                    const EnergyProfile& profile);
 
+/// As above, but reusing a pre-sorted segment list (see sortSegmentJobs) and
+/// a pre-computed single-machine work vector, so hot-path callers (the
+/// ProfileEvaluator) skip the per-call flatten + sort + reduction. `work`
+/// must be the result of scheduleSingleMachineSorted on the profile's
+/// temporary deadlines.
+FractionalSchedule distributeWork(const Instance& inst,
+                                  const EnergyProfile& profile,
+                                  const std::vector<double>& work);
+
 /// The temporary deadlines used by the single-machine reduction (exposed for
 /// testing): d_j^temp in TFLOP on the unit-speed equivalent machine.
 std::vector<double> temporaryDeadlines(const Instance& inst,

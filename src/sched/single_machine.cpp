@@ -2,10 +2,77 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/check.h"
 
 namespace dsct {
+
+namespace {
+
+/// Lazy segment tree over the per-task slacks v_i = d_i − prefix_i with two
+/// operations, both on suffix ranges [j, n): minimum query and uniform add.
+/// Granting `c` seconds to task j shrinks every slack at or after j by `c`,
+/// so Algorithm 1's inner loops become O(log n) instead of O(n).
+class SuffixSlackTree {
+ public:
+  explicit SuffixSlackTree(std::span<const double> initial)
+      : n_(initial.size()) {
+    size_ = 1;
+    while (size_ < std::max<std::size_t>(1, n_)) size_ <<= 1;
+    min_.assign(2 * size_, std::numeric_limits<double>::infinity());
+    add_.assign(2 * size_, 0.0);
+    for (std::size_t i = 0; i < n_; ++i) min_[size_ + i] = initial[i];
+    for (std::size_t i = size_ - 1; i >= 1; --i) {
+      min_[i] = std::min(min_[2 * i], min_[2 * i + 1]);
+    }
+  }
+
+  /// min_{i >= j} v_i (infinity for j >= n).
+  double suffixMin(std::size_t j) const {
+    if (j >= n_) return std::numeric_limits<double>::infinity();
+    return rangeMin(1, 0, size_, j, n_);
+  }
+
+  /// v_i += delta for all i >= j.
+  void suffixAdd(std::size_t j, double delta) {
+    if (j >= n_) return;
+    rangeAdd(1, 0, size_, j, n_, delta);
+  }
+
+ private:
+  double rangeMin(std::size_t node, std::size_t lo, std::size_t hi,
+                  std::size_t ql, std::size_t qr) const {
+    if (qr <= lo || hi <= ql) {
+      return std::numeric_limits<double>::infinity();
+    }
+    if (ql <= lo && hi <= qr) return min_[node] + add_[node];
+    const std::size_t mid = (lo + hi) / 2;
+    return add_[node] + std::min(rangeMin(2 * node, lo, mid, ql, qr),
+                                 rangeMin(2 * node + 1, mid, hi, ql, qr));
+  }
+
+  void rangeAdd(std::size_t node, std::size_t lo, std::size_t hi,
+                std::size_t ql, std::size_t qr, double delta) {
+    if (qr <= lo || hi <= ql) return;
+    if (ql <= lo && hi <= qr) {
+      add_[node] += delta;
+      return;
+    }
+    const std::size_t mid = (lo + hi) / 2;
+    rangeAdd(2 * node, lo, mid, ql, qr, delta);
+    rangeAdd(2 * node + 1, mid, hi, ql, qr, delta);
+    min_[node] = std::min(min_[2 * node] + add_[2 * node],
+                          min_[2 * node + 1] + add_[2 * node + 1]);
+  }
+
+  std::size_t n_;
+  std::size_t size_;
+  std::vector<double> min_;  ///< subtree minimum, excluding this node's add
+  std::vector<double> add_;  ///< pending uniform add for the whole subtree
+};
+
+}  // namespace
 
 std::vector<SegmentJob> makeSegmentJobs(std::span<const Task> tasks) {
   std::vector<SegmentJob> segments;
@@ -18,6 +85,40 @@ std::vector<SegmentJob> makeSegmentJobs(std::span<const Task> tasks) {
     }
   }
   return segments;
+}
+
+void sortSegmentJobs(std::vector<SegmentJob>& segments) {
+  // Non-increasing slope; ties broken by (task, position) for determinism.
+  // Within a task, concavity already orders segments by position.
+  std::sort(segments.begin(), segments.end(),
+            [](const SegmentJob& a, const SegmentJob& b) {
+              if (a.slope != b.slope) return a.slope > b.slope;
+              if (a.task != b.task) return a.task < b.task;
+              return a.position < b.position;
+            });
+}
+
+std::vector<double> scheduleSingleMachineSorted(
+    std::span<const double> deadlines, double speed,
+    std::span<const SegmentJob> sortedSegments) {
+  const int n = static_cast<int>(deadlines.size());
+  std::vector<double> t(static_cast<std::size_t>(n), 0.0);
+  if (n == 0) return t;
+
+  // slack_i = d_i − prefix_i; a segment of task j may grow t_j by
+  // min_{i >= j} slack_i (lines 6-7 of Algorithm 1, extended to include j
+  // itself), after which every slack at or after j shrinks by the grant.
+  SuffixSlackTree slack(deadlines);
+
+  for (const SegmentJob& seg : sortedSegments) {
+    const std::size_t j = static_cast<std::size_t>(seg.task);
+    const double contribution =
+        std::max(0.0, std::min(seg.flops / speed, slack.suffixMin(j)));
+    if (contribution <= 0.0) continue;
+    t[j] += contribution;
+    slack.suffixAdd(j, -contribution);
+  }
+  return t;
 }
 
 std::vector<double> scheduleSingleMachine(std::span<const double> deadlines,
@@ -37,38 +138,8 @@ std::vector<double> scheduleSingleMachine(std::span<const double> deadlines,
     DSCT_CHECK(seg.slope >= 0.0);
   }
 
-  // Non-increasing slope; ties broken by (task, position) for determinism.
-  // Within a task, concavity already orders segments by position.
-  std::sort(segments.begin(), segments.end(),
-            [](const SegmentJob& a, const SegmentJob& b) {
-              if (a.slope != b.slope) return a.slope > b.slope;
-              if (a.task != b.task) return a.task < b.task;
-              return a.position < b.position;
-            });
-
-  std::vector<double> t(static_cast<std::size_t>(n), 0.0);
-  // prefix[i] = Σ_{k<=i} t_k, kept incrementally updated.
-  std::vector<double> prefix(static_cast<std::size_t>(n), 0.0);
-
-  for (const SegmentJob& seg : segments) {
-    const int j = seg.task;
-    double contribution = seg.flops / speed;
-    // A segment may grow t_j only while every prefix constraint at and after
-    // j keeps slack (lines 6-7 of Algorithm 1, extended to include j itself).
-    for (int i = j; i < n && contribution > 0.0; ++i) {
-      contribution = std::min(
-          contribution,
-          deadlines[static_cast<std::size_t>(i)] -
-              prefix[static_cast<std::size_t>(i)]);
-    }
-    contribution = std::max(0.0, contribution);
-    if (contribution <= 0.0) continue;
-    t[static_cast<std::size_t>(j)] += contribution;
-    for (int i = j; i < n; ++i) {
-      prefix[static_cast<std::size_t>(i)] += contribution;
-    }
-  }
-  return t;
+  sortSegmentJobs(segments);
+  return scheduleSingleMachineSorted(deadlines, speed, segments);
 }
 
 std::vector<double> scheduleSingleMachine(std::span<const Task> tasks,

@@ -3,7 +3,9 @@
 //
 // Greedy water-filling over accuracy segments in non-increasing slope order:
 // each segment receives as much processing time as the prefix deadline
-// constraints of the task and all later tasks allow. O(S·n) for S segments.
+// constraints of the task and all later tasks allow. A lazy segment tree
+// over the suffix slacks d_i − prefix_i makes each grant O(log n), so the
+// whole pass is O(S log n) for S segments.
 #pragma once
 
 #include <span>
@@ -25,6 +27,10 @@ struct SegmentJob {
 /// Flatten the accuracy functions of `tasks` into segment jobs.
 std::vector<SegmentJob> makeSegmentJobs(std::span<const Task> tasks);
 
+/// Sort segment jobs into Algorithm 1's processing order: non-increasing
+/// slope, ties broken by (task, position) for determinism.
+void sortSegmentJobs(std::vector<SegmentJob>& segments);
+
 /// Algorithm 1. `deadlines` must be non-decreasing; returns per-task
 /// processing times t_j (seconds) on a machine of the given speed (TFLOPS),
 /// maximising total accuracy under prefix deadline constraints
@@ -32,6 +38,13 @@ std::vector<SegmentJob> makeSegmentJobs(std::span<const Task> tasks);
 std::vector<double> scheduleSingleMachine(std::span<const double> deadlines,
                                           double speed,
                                           std::vector<SegmentJob> segments);
+
+/// Core of Algorithm 1 for callers that keep a pre-sorted segment list
+/// (see sortSegmentJobs); skips validation and the per-call sort, so
+/// repeated profile evaluations pay only the water-filling pass.
+std::vector<double> scheduleSingleMachineSorted(
+    std::span<const double> deadlines, double speed,
+    std::span<const SegmentJob> sortedSegments);
 
 /// Convenience overload operating directly on an instance's tasks
 /// (single machine, ignoring energy).

@@ -90,9 +90,15 @@ ServingStats runServingImpl(
     }
   };
 
-  for (double epochStart = 0.0; epochStart < options.horizonSeconds;
-       epochStart += options.epochSeconds) {
-    const double epochEnd = epochStart + options.epochSeconds;
+  // Iterate over the integer epoch index and derive both boundaries by
+  // multiplication: accumulating `epochStart += epochSeconds` compounds one
+  // rounding error per epoch, which can admit an arrival into the wrong
+  // epoch or run one epoch too many/few over long horizons.
+  for (long long epoch = 0;; ++epoch) {
+    const double epochStart = static_cast<double>(epoch) * options.epochSeconds;
+    if (epochStart >= options.horizonSeconds) break;
+    const double epochEnd =
+        static_cast<double>(epoch + 1) * options.epochSeconds;
     // Admit this epoch's arrivals.
     while (next < arrivalTimes.size() && arrivalTimes[next] < epochEnd) {
       const double arrival = arrivalTimes[next];

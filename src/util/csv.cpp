@@ -1,5 +1,6 @@
 #include "util/csv.h"
 
+#include <limits>
 #include <sstream>
 
 #include "util/check.h"
@@ -43,7 +44,9 @@ void CsvWriter::addRow(const std::vector<double>& cells) {
   text.reserve(cells.size());
   for (double x : cells) {
     std::ostringstream os;
-    os.precision(12);
+    // max_digits10 guarantees the double round-trips exactly; precision(12)
+    // silently dropped the last ~5 bits of every value.
+    os.precision(std::numeric_limits<double>::max_digits10);
     os << x;
     text.push_back(os.str());
   }

@@ -23,7 +23,13 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+const ThreadPool*& ThreadPool::currentPool() {
+  thread_local const ThreadPool* pool = nullptr;
+  return pool;
+}
+
 void ThreadPool::workerLoop() {
+  currentPool() = this;
   for (;;) {
     std::function<void()> task;
     {

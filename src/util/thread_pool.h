@@ -45,24 +45,39 @@ class ThreadPool {
     return fut;
   }
 
+  /// True when the calling thread is one of this pool's workers. Blocking on
+  /// queued work from inside a worker would deadlock (the blocked worker is
+  /// the one the queue needs), so re-entrant helpers must run inline instead.
+  bool insideWorker() const { return currentPool() == this; }
+
   /// Apply fn(i) for i in [0, n) in parallel; returns results in index order.
-  /// fn must be callable concurrently from multiple threads.
+  /// fn must be callable concurrently from multiple threads. Safe to call
+  /// from inside one of this pool's own workers: the work then runs inline
+  /// on the calling thread instead of deadlocking on the occupied queue.
   template <typename Fn>
   auto parallelMap(std::size_t n, Fn fn)
       -> std::vector<std::invoke_result_t<Fn, std::size_t>> {
     using R = std::invoke_result_t<Fn, std::size_t>;
+    std::vector<R> out;
+    out.reserve(n);
+    if (insideWorker()) {
+      for (std::size_t i = 0; i < n; ++i) out.push_back(fn(i));
+      return out;
+    }
     std::vector<std::future<R>> futures;
     futures.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
       futures.push_back(submit([fn, i] { return fn(i); }));
     }
-    std::vector<R> out;
-    out.reserve(n);
     for (auto& f : futures) out.push_back(f.get());
     return out;
   }
 
  private:
+  /// The pool owning the current thread, or nullptr off the worker threads
+  /// (thread-local; defined in thread_pool.cpp).
+  static const ThreadPool*& currentPool();
+
   void workerLoop();
 
   std::vector<std::thread> workers_;

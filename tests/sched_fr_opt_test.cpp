@@ -12,6 +12,7 @@
 #include "solver/simplex.h"
 #include "tests/test_support.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace dsct {
 namespace {
@@ -174,6 +175,63 @@ TEST_P(FrOptKkt, SatisfiesKktConditions) {
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomInstances, FrOptKkt, ::testing::Range(0, 20));
+
+TEST(FrOpt, ReportsCounters) {
+  const Instance inst = randomInstance(123, 12, 4);
+  const FrOptResult res = solveFrOpt(inst);
+  EXPECT_GT(res.counters.outerRounds, 0);
+  EXPECT_GT(res.counters.evaluations, 0);
+  EXPECT_GE(res.counters.cacheHits, 0);
+  // Schedules are materialised only for adopted improvements; evaluations
+  // must dominate them — that is the point of the fused path.
+  EXPECT_GE(res.counters.scheduleSolves, 0);
+  EXPECT_GE(res.counters.totalSeconds, 0.0);
+  EXPECT_GT(res.counters.evaluations, res.counters.scheduleSolves);
+}
+
+TEST(FrOpt, ParallelMatchesSerialBitwise) {
+  // The fan-out only distributes pure evaluations and every reduction is
+  // index-ordered, so the parallel solve must reproduce the serial one to
+  // the last bit — schedules, metrics and work counters alike.
+  for (int rep = 0; rep < 4; ++rep) {
+    const Instance inst = randomInstance(deriveSeed(4242, rep),
+                                         8 + 2 * rep, 2 + rep % 3,
+                                         0.3, 0.5, 0.1, 2.0);
+    const FrOptResult serial = solveFrOpt(inst, FrOptOptions{});
+    FrOptOptions parOptions;
+    parOptions.threads = 3;
+    const FrOptResult parallel = solveFrOpt(inst, parOptions);
+
+    EXPECT_EQ(serial.totalAccuracy, parallel.totalAccuracy) << "rep " << rep;
+    EXPECT_EQ(serial.energy, parallel.energy) << "rep " << rep;
+    ASSERT_EQ(serial.schedule.numTasks(), parallel.schedule.numTasks());
+    for (int j = 0; j < serial.schedule.numTasks(); ++j) {
+      for (int r = 0; r < serial.schedule.numMachines(); ++r) {
+        EXPECT_EQ(serial.schedule.at(j, r), parallel.schedule.at(j, r))
+            << "rep " << rep << " t[" << j << "][" << r << "]";
+      }
+    }
+    EXPECT_EQ(serial.counters.evaluations, parallel.counters.evaluations);
+    EXPECT_EQ(serial.counters.cacheHits, parallel.counters.cacheHits);
+    EXPECT_EQ(serial.counters.pairMoves, parallel.counters.pairMoves);
+    EXPECT_EQ(serial.counters.directionSteps, parallel.counters.directionSteps);
+  }
+}
+
+TEST(FrOpt, BorrowedPoolFromInsideWorkerIsSafe) {
+  // Experiment drivers run whole solves on pool workers; passing the same
+  // pool down must not deadlock (the evaluator's fan-out then runs inline).
+  const Instance inst = randomInstance(123, 12, 4);
+  const FrOptResult baseline = solveFrOpt(inst);
+  ThreadPool pool(2);
+  const auto out = pool.parallelMap(2, [&](std::size_t) {
+    FrOptOptions options;
+    options.pool = &pool;
+    return solveFrOpt(inst, options).totalAccuracy;
+  });
+  EXPECT_EQ(out[0], baseline.totalAccuracy);
+  EXPECT_EQ(out[1], baseline.totalAccuracy);
+}
 
 TEST(FrOpt, ZeroBudgetYieldsFloorAccuracy) {
   const Instance inst = randomInstance(9, 6, 3, 0.3, 0.0);

@@ -1,0 +1,140 @@
+// Regression tests for the pairwise profile search (fr_opt.cpp).
+//
+// The pre-fix search probed transfer sizes up to the donor's *entire* energy
+// while clamping the recipient at the horizon: a probe past the recipient's
+// headroom deducted the full delta from the donor but credited only part of
+// it, silently destroying energy. Because the quick screen sampled at
+// available/2, available/64 and available — all far past the headroom on
+// horizon-bound instances — whole improving directions were dismissed. The
+// fixed search caps the interval at min(donor energy, recipient headroom),
+// so every probed profile conserves energy exactly.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sched/fr_opt.h"
+#include "sched/naive_solution.h"
+#include "sched/profile_evaluator.h"
+#include "sched/types.h"
+#include "tests/test_support.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace dsct {
+namespace {
+
+using testing::randomInstance;
+
+/// One task at the horizon (d = 10 s) whose accuracy curve kinks at
+/// 17.9 TFLOP (slope 0.05 before, 0.025 after), on an efficient machine r0
+/// (P = 20 W) and an inefficient machine r1 (P = 25 W). With loads
+/// (9.95 s, 8 s) the only improving move sends energy from r1 to the
+/// nearly-full r0, whose headroom is (10 − 9.95) · 20 W = 1 J — while r1
+/// holds 8 · 25 = 200 J. The move gains (1/20 − 1/25) · σ_R per Joule.
+Instance horizonBoundInstance() {
+  std::vector<Task> tasks;
+  tasks.push_back(Task{10.0,
+                       PiecewiseLinearAccuracy::fromPoints(
+                           {0.0, 17.9, 21.9}, {0.0, 0.895, 0.995}),
+                       "t0"});
+  std::vector<Machine> machines{Machine{1.0, 0.05, "r0"},
+                                Machine{1.0, 0.04, "r1"}};
+  return Instance(std::move(tasks), std::move(machines), 399.0);
+}
+
+TEST(PairSearch, FindsMoveTheUncappedScreenDismisses) {
+  const Instance inst = horizonBoundInstance();
+  const ProfileEvaluator evaluator(inst);
+  const EnergyProfile loads{9.95, 8.0};
+  const double base = evaluator.evaluate(loads);
+  EXPECT_NEAR(base, 0.89625, 1e-12);
+
+  // Why the pre-fix screen failed here: probing this direction at the old
+  // uncapped sizes (available = 200 J → probes at 100, 3.125 and 200 J)
+  // clamps the recipient at the horizon and destroys the excess energy, so
+  // every probed value sits *below* the base and the direction is skipped.
+  const double horizon = inst.maxDeadline();
+  const auto leakyValueAt = [&](double delta) {
+    EnergyProfile profile = loads;
+    profile[1] -= delta / inst.machine(1).power();
+    profile[0] = std::min(horizon, profile[0] + delta / inst.machine(0).power());
+    return evaluator.evaluate(profile);
+  };
+  const double available = loads[1] * inst.machine(1).power();
+  EXPECT_NEAR(available, 200.0, 1e-12);
+  EXPECT_LT(leakyValueAt(available / 2.0), base);
+  EXPECT_LT(leakyValueAt(available / 64.0), base);
+  EXPECT_LT(leakyValueAt(available), base);
+
+  // The capped search probes only energy-conserving sizes and finds the
+  // 1-Joule move: work grows by (1/20 − 1/25) TFLOP/J · 1 J = 0.01 TFLOP
+  // past the kink, so accuracy rises by 0.01 · 0.025 = 0.00025.
+  const std::optional<PairMove> move =
+      bestPairMove(inst, evaluator, loads, base);
+  ASSERT_TRUE(move.has_value());
+  EXPECT_EQ(move->from, 1);
+  EXPECT_EQ(move->to, 0);
+  EXPECT_NEAR(move->delta, 1.0, 1e-6);
+  EXPECT_NEAR(move->accuracy, 0.8965, 1e-9);
+  // Exact conservation: the donor loses delta/P_from seconds, the recipient
+  // gains delta/P_to seconds, and no probe ever clamps.
+  EXPECT_NEAR(profileEnergy(inst, move->profile),
+              profileEnergy(inst, loads), 1e-9);
+  EXPECT_LE(move->profile[0], horizon + 1e-12);
+}
+
+TEST(PairSearch, MovesConserveEnergyAndNeverDecreaseAccuracy) {
+  for (int trial = 0; trial < 8; ++trial) {
+    const Instance inst = randomInstance(deriveSeed(8080, trial), 10, 3,
+                                         0.3, 0.5, 0.1, 2.0);
+    const ProfileEvaluator evaluator(inst);
+    const NaiveSolution naive = computeNaiveSolution(inst);
+    EnergyProfile loads = naive.schedule.machineLoads();
+    double base = evaluator.evaluate(loads);
+    // Follow the move chain a few steps; every accepted move must conserve
+    // energy and strictly improve.
+    for (int step = 0; step < 4; ++step) {
+      const std::optional<PairMove> move =
+          bestPairMove(inst, evaluator, loads, base);
+      if (!move.has_value()) break;
+      EXPECT_NEAR(profileEnergy(inst, move->profile),
+                  profileEnergy(inst, loads),
+                  1e-9 * std::max(1.0, profileEnergy(inst, loads)))
+          << "trial " << trial << " step " << step;
+      EXPECT_GT(move->accuracy, base) << "trial " << trial;
+      for (int r = 0; r < inst.numMachines(); ++r) {
+        EXPECT_GE(move->profile[static_cast<std::size_t>(r)], -1e-9);
+        EXPECT_LE(move->profile[static_cast<std::size_t>(r)],
+                  inst.maxDeadline() + 1e-9);
+      }
+      loads = move->profile;
+      base = move->accuracy;
+    }
+  }
+}
+
+TEST(PairSearch, ParallelMatchesSerialBitwise) {
+  const Instance inst = horizonBoundInstance();
+  const ProfileEvaluator evaluator(inst);
+  const EnergyProfile loads{9.95, 8.0};
+  const double base = evaluator.evaluate(loads);
+
+  const std::optional<PairMove> serial =
+      bestPairMove(inst, evaluator, loads, base);
+  ThreadPool pool(3);
+  const std::optional<PairMove> parallel =
+      bestPairMove(inst, evaluator, loads, base, &pool);
+  ASSERT_EQ(serial.has_value(), parallel.has_value());
+  ASSERT_TRUE(serial.has_value());
+  EXPECT_EQ(serial->from, parallel->from);
+  EXPECT_EQ(serial->to, parallel->to);
+  EXPECT_EQ(serial->delta, parallel->delta);        // bit-identical
+  EXPECT_EQ(serial->accuracy, parallel->accuracy);  // bit-identical
+  ASSERT_EQ(serial->profile.size(), parallel->profile.size());
+  for (std::size_t r = 0; r < serial->profile.size(); ++r) {
+    EXPECT_EQ(serial->profile[r], parallel->profile[r]);
+  }
+}
+
+}  // namespace
+}  // namespace dsct

@@ -96,6 +96,38 @@ TEST(ThreadPool, ParallelMapPreservesOrder) {
   }
 }
 
+TEST(ThreadPool, ParallelMapInsideWorkerRunsInline) {
+  // A nested parallelMap from inside a worker must not block on the queue:
+  // with every worker occupied by an outer task, inner tasks queued behind
+  // the remaining outer ones could never start, deadlocking the pool. The
+  // nested call runs inline on the worker instead.
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.insideWorker());
+  const auto outer = pool.parallelMap(4, [&pool](std::size_t i) {
+    EXPECT_TRUE(pool.insideWorker());
+    const auto inner = pool.parallelMap(8, [i](std::size_t k) {
+      return static_cast<int>(8 * i + k);
+    });
+    int sum = 0;
+    for (int v : inner) sum += v;
+    return sum;
+  });
+  ASSERT_EQ(outer.size(), 4u);
+  for (std::size_t i = 0; i < outer.size(); ++i) {
+    // Σ_{k<8} (8i + k) = 64i + 28.
+    EXPECT_EQ(outer[i], static_cast<int>(64 * i + 28));
+  }
+}
+
+TEST(ThreadPool, InsideWorkerDistinguishesPools) {
+  ThreadPool a(1);
+  ThreadPool b(1);
+  const auto out = a.parallelMap(1, [&](std::size_t) {
+    return a.insideWorker() && !b.insideWorker();
+  });
+  EXPECT_TRUE(out[0]);
+}
+
 TEST(ThreadPool, PropagatesExceptions) {
   ThreadPool pool(2);
   auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
