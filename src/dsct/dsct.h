@@ -37,6 +37,7 @@
 #include "sched/types.h"
 #include "sched/validator.h"
 #include "sim/cluster.h"
+#include "sim/faults.h"
 #include "sim/renewable.h"
 #include "sim/serving.h"
 #include "sim/trace.h"

@@ -111,6 +111,10 @@ std::vector<double> scheduleSingleMachineSorted(
   SuffixSlackTree slack(deadlines);
 
   for (const SegmentJob& seg : sortedSegments) {
+    // Zero-slope segments add no accuracy; granting them slack only inflates
+    // energy and (for flattened comm-starved tasks) invents phantom work.
+    // They sort last, so skipping them cannot change any other allocation.
+    if (seg.slope <= 0.0) continue;
     const std::size_t j = static_cast<std::size_t>(seg.task);
     const double contribution =
         std::max(0.0, std::min(seg.flops / speed, slack.suffixMin(j)));

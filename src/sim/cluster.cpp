@@ -17,6 +17,7 @@ struct PendingEvent {
   EventKind kind;
   int task;
   double flops;
+  bool interrupted = false;
 };
 
 struct Later {
@@ -50,6 +51,13 @@ ExecutionResult executeSchedule(const Instance& inst,
 ExecutionResult executeSchedule(const Instance& inst,
                                 const IntegralSchedule& schedule,
                                 const CommModel& comm) {
+  return executeSchedule(inst, schedule, comm, FaultContext{});
+}
+
+ExecutionResult executeSchedule(const Instance& inst,
+                                const IntegralSchedule& schedule,
+                                const CommModel& comm,
+                                const FaultContext& faults) {
   DSCT_CHECK(schedule.numTasks() == inst.numTasks());
   DSCT_CHECK(comm.taskBytes.empty() ||
              static_cast<int>(comm.taskBytes.size()) == inst.numTasks());
@@ -69,24 +77,80 @@ ExecutionResult executeSchedule(const Instance& inst,
   long sequence = 0;
   std::vector<double> transferEnergyAtStart(
       static_cast<std::size_t>(inst.numTasks()), 0.0);
-  for (int r = 0; r < inst.numMachines(); ++r) {
-    // Walk the machine's timeline re-deriving starts: each task's input
-    // transfer is serialised on the machine's ingest link before execution.
-    double clock = 0.0;
-    for (const ScheduledTask& e : schedule.timeline(r)) {
-      const double transfer = comm.transferSeconds(e.task);
-      const double execStart = clock + transfer;
-      const double execEnd = execStart + e.duration;
-      const double flops = e.duration * inst.machine(r).speed;
-      transferEnergyAtStart[static_cast<std::size_t>(e.task)] =
-          comm.transferJoules(e.task);
-      queue.push(
-          {execStart, r, sequence++, EventKind::kTaskStart, e.task, 0.0});
-      queue.push(
-          {execEnd, r, sequence++, EventKind::kTaskFinish, e.task, flops});
-      clock = execEnd;
+  if (!faults.active()) {
+    for (int r = 0; r < inst.numMachines(); ++r) {
+      // Walk the machine's timeline re-deriving starts: each task's input
+      // transfer is serialised on the machine's ingest link before execution.
+      double clock = 0.0;
+      for (const ScheduledTask& e : schedule.timeline(r)) {
+        // A zero-work slot never fetches its input: schedulers may park a
+        // starved task (e.g. one whose transfer exceeds its deadline) in a
+        // zero-duration slot, and paying the transfer for it would serialise
+        // dead bytes in front of real work.
+        const double transfer =
+            e.duration > 0.0 ? comm.transferSeconds(e.task) : 0.0;
+        const double execStart = clock + transfer;
+        const double execEnd = execStart + e.duration;
+        const double flops = e.duration * inst.machine(r).speed;
+        transferEnergyAtStart[static_cast<std::size_t>(e.task)] =
+            e.duration > 0.0 ? comm.transferJoules(e.task) : 0.0;
+        queue.push(
+            {execStart, r, sequence++, EventKind::kTaskStart, e.task, 0.0});
+        queue.push(
+            {execEnd, r, sequence++, EventKind::kTaskFinish, e.task, flops});
+        clock = execEnd;
+      }
+      queue.push({clock, r, sequence++, EventKind::kMachineIdle, -1, 0.0});
     }
-    queue.push({clock, r, sequence++, EventKind::kMachineIdle, -1, 0.0});
+  } else {
+    const FaultTrace& trace = *faults.trace;
+    for (int r = 0; r < inst.numMachines(); ++r) {
+      const int tr = faults.traceMachine(r);
+      // First crash at or after the epoch start, in local time; a machine
+      // already down at the offset interrupts everything at local 0, and
+      // everything from the crash to the end of the timeline is lost (the
+      // machine rejoins only at the next epoch's replan).
+      const double crashLocal =
+          trace.nextCrashAt(tr, faults.timeOffset) - faults.timeOffset;
+      double clock = 0.0;
+      for (const ScheduledTask& e : schedule.timeline(r)) {
+        const double transfer =
+            e.duration > 0.0 ? comm.transferSeconds(e.task) : 0.0;
+        const double execStart = clock + transfer;
+        const double execEnd = execStart + e.duration;
+        clock = execEnd;
+        if (execStart >= crashLocal) {
+          TaskExecution& exec =
+              result.executions[static_cast<std::size_t>(e.task)];
+          exec.machine = r;
+          exec.interrupted = true;
+          ++result.interruptions;
+          continue;
+        }
+        const bool cut = execEnd > crashLocal;
+        const double finish = cut ? crashLocal : execEnd;
+        // Straggler windows shrink delivered FLOPs, not the occupied slot.
+        // The loss is subtracted from the scheduled duration rather than
+        // re-deriving it from finish - execStart, so a task untouched by any
+        // fault reproduces the default path's FLOPs bit for bit.
+        const double occupied = cut ? finish - execStart : e.duration;
+        const double lost = trace.slowdownLossSeconds(
+            tr, faults.timeOffset + execStart, faults.timeOffset + finish);
+        const double flops =
+            std::max(0.0, lost > 0.0 ? occupied - lost : occupied) *
+            inst.machine(r).speed;
+        transferEnergyAtStart[static_cast<std::size_t>(e.task)] =
+            e.duration > 0.0 ? comm.transferJoules(e.task) : 0.0;
+        queue.push(
+            {execStart, r, sequence++, EventKind::kTaskStart, e.task, 0.0});
+        queue.push(
+            {finish, r, sequence++, EventKind::kTaskFinish, e.task, flops,
+             cut});
+      }
+      const double drained =
+          std::min(std::max(crashLocal, 0.0), clock);
+      queue.push({drained, r, sequence++, EventKind::kMachineIdle, -1, 0.0});
+    }
   }
 
   double energy = 0.0;
@@ -110,6 +174,10 @@ ExecutionResult executeSchedule(const Instance& inst,
         exec.finish = e.time;
         exec.flops = e.flops;
         exec.executed = true;
+        if (e.interrupted) {
+          exec.interrupted = true;
+          ++result.interruptions;
+        }
         exec.accuracy = inst.task(e.task).accuracy.value(e.flops);
         const double busy = exec.finish - exec.start;
         result.machineBusySeconds[static_cast<std::size_t>(e.machine)] += busy;
@@ -148,8 +216,19 @@ Instance commAwareInstance(const Instance& inst, const CommModel& comm) {
   for (int j = 0; j < inst.numTasks(); ++j) {
     commEnergy += comm.transferJoules(j);
     Task task = inst.task(j);
-    task.deadline =
-        std::max(1e-9, task.deadline - comm.transferSeconds(j));
+    const double transfer = comm.transferSeconds(j);
+    if (transfer >= task.deadline) {
+      // The input cannot arrive before the deadline. Instance rejects
+      // non-positive deadlines, so keep a tiny positive one, and flatten the
+      // accuracy curve to its floor: with zero marginal gain everywhere no
+      // scheduler has a reason to assign the task any work.
+      task.deadline = 1e-9;
+      const double floor = task.accuracy.value(0.0);
+      task.accuracy = PiecewiseLinearAccuracy::fromPoints(
+          {0.0, task.accuracy.fmax()}, {floor, floor});
+    } else {
+      task.deadline -= transfer;
+    }
     tasks.push_back(std::move(task));
   }
   const double budget = std::max(0.0, inst.energyBudget() - commEnergy);

@@ -11,6 +11,7 @@
 
 #include "sched/schedule.h"
 #include "sched/types.h"
+#include "sim/faults.h"
 #include "sim/trace.h"
 
 namespace dsct::sim {
@@ -24,6 +25,9 @@ struct TaskExecution {
   double accuracy = 0.0;  ///< a_j(flops)
   bool executed = false;  ///< false for dropped tasks (flops == 0, a_j(0))
   bool deadlineMet = true;
+  /// Cut short (or never started) because its machine crashed mid-epoch.
+  /// `flops` records the work completed before the crash.
+  bool interrupted = false;
 };
 
 struct ExecutionResult {
@@ -34,6 +38,7 @@ struct ExecutionResult {
   double makespan = 0.0;     ///< latest finish time
   double totalAccuracy = 0.0;
   int deadlineMisses = 0;
+  int interruptions = 0;  ///< tasks interrupted by machine crashes
 };
 
 /// Execute `schedule` on the instance's machines.
@@ -61,6 +66,33 @@ struct CommModel {
 ExecutionResult executeSchedule(const Instance& inst,
                                 const IntegralSchedule& schedule,
                                 const CommModel& comm);
+
+/// Binds a FaultTrace (absolute simulation time) to one executeSchedule call
+/// (local time starting at 0): `timeOffset` is the absolute time of local 0
+/// and `machineMap[r]` names the trace machine behind the instance's machine
+/// r (empty = identity). Inactive contexts select the fault-free fast path,
+/// which is bit-identical to the pre-fault simulator.
+struct FaultContext {
+  const FaultTrace* trace = nullptr;
+  double timeOffset = 0.0;
+  std::vector<int> machineMap;
+
+  bool active() const { return trace != nullptr && trace->enabled(); }
+  int traceMachine(int machine) const {
+    return machineMap.empty() ? machine
+                              : machineMap[static_cast<std::size_t>(machine)];
+  }
+};
+
+/// Execute under fault injection: a machine that crashes mid-epoch cuts its
+/// running task at the crash instant (partial FLOPs and energy are recorded,
+/// the task is flagged `interrupted`) and abandons the rest of its timeline;
+/// straggler windows scale delivered FLOPs by the trace's slowdown factor
+/// while the machine still occupies — and is billed for — its full slot.
+ExecutionResult executeSchedule(const Instance& inst,
+                                const IntegralSchedule& schedule,
+                                const CommModel& comm,
+                                const FaultContext& faults);
 
 /// Conservative comm-aware instance transform: shrinks the budget by every
 /// task's transfer energy and each deadline by its own transfer time, so a

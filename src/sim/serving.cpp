@@ -3,16 +3,20 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "accuracy/fit.h"
 #include "baselines/edf_levels.h"
 #include "baselines/edf_nocompress.h"
 #include "sched/approx.h"
+#include "sched/validator.h"
 #include "sim/renewable.h"
 #include "util/check.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 namespace dsct::sim {
 
@@ -21,6 +25,20 @@ const char* toString(Policy policy) {
     case Policy::kApprox: return "DSCT-EA-Approx";
     case Policy::kEdfNoCompression: return "EDF-NoCompression";
     case Policy::kEdfLevels: return "EDF-3CompressionLevels";
+  }
+  return "unknown";
+}
+
+const char* toString(IncidentKind kind) {
+  switch (kind) {
+    case IncidentKind::kPolicyFailure: return "policy-failure";
+    case IncidentKind::kPolicyTimeout: return "policy-timeout";
+    case IncidentKind::kValidatorReject: return "validator-reject";
+    case IncidentKind::kFallbackEngaged: return "fallback-engaged";
+    case IncidentKind::kEmptySchedule: return "empty-schedule";
+    case IncidentKind::kNoAliveMachines: return "no-alive-machines";
+    case IncidentKind::kBudgetShock: return "budget-shock";
+    case IncidentKind::kAdmissionShed: return "admission-shed";
   }
   return "unknown";
 }
@@ -48,7 +66,13 @@ ServingStats runServingImpl(
     const std::function<double(double, double)>& budgetFor) {
   DSCT_CHECK(!machines.empty());
   DSCT_CHECK(options.epochSeconds > 0.0);
-  DSCT_CHECK(options.arrivalRatePerSecond > 0.0);
+  if (options.arrivalTimes.empty()) {
+    // The rate feeds the Poisson generator only; an explicit arrival trace
+    // makes it irrelevant and must not be rejected.
+    DSCT_CHECK_MSG(options.arrivalRatePerSecond > 0.0,
+                   "arrivalRatePerSecond must be positive when no explicit "
+                   "arrivalTimes are supplied");
+  }
 
   Rng rng(options.seed);
   // Arrival stream: caller-provided times or a Poisson process.
@@ -65,15 +89,37 @@ ServingStats runServingImpl(
                      "arrivalTimes must be ascending");
     }
   }
+
+  // Fault event stream — generated only when enabled, so the default path
+  // draws no extra random numbers and stays bit-identical to the pre-fault
+  // driver.
+  FaultTrace faults;
+  if (options.faults.enabled) {
+    const long long numEpochs = static_cast<long long>(
+        std::ceil(options.horizonSeconds / options.epochSeconds));
+    faults = FaultTrace::generate(static_cast<int>(machines.size()),
+                                  options.horizonSeconds, numEpochs,
+                                  options.faults);
+  }
+  // The fallback chain (try primary → validate → fall back to kEdfLevels)
+  // runs only when some guard is active; otherwise scheduling is a single
+  // unguarded call exactly as before.
+  const bool guarded = options.faults.enabled || options.validateEpochs ||
+                       options.epochTimeLimitSeconds > 0.0;
+
   // In-flight requests. Without backlog carry-over a request lives for one
   // epoch; with it, a request re-enters later batches with its residual
   // accuracy function until its deadline passes or it is fully processed.
+  // Fault recovery reuses the same residual path: an interrupted request
+  // re-enters with its partial FLOPs until its retry budget runs out.
   struct Active {
     double arrival;
     double absoluteDeadline;
     PiecewiseLinearAccuracy accuracy;  ///< the request's full curve
     double flopsDone = 0.0;
     double lastFinish = 0.0;  ///< absolute completion time of the last slice
+    int retryCount = 0;       ///< epochs in which this request was interrupted
+    bool interrupted = false; ///< interrupted in the current epoch
   };
   std::vector<Active> active;
   std::size_t next = 0;  // next unconsumed arrival
@@ -109,11 +155,107 @@ ServingStats runServingImpl(
           makePaperAccuracy(options.amin, options.amax,
                             rng.uniform(options.thetaLo, options.thetaHi),
                             options.segments),
-          0.0, 0.0});
+          0.0, 0.0, 0, false});
       ++next;
     }
     if (active.empty()) continue;
     ++stats.epochs;
+
+    // Retire requests; with carry-over, keep those that still have usable
+    // time next epoch and remaining accuracy headroom. Interrupted requests
+    // additionally re-enter (their residual suffix carries the partial
+    // FLOPs) until the retry budget is exhausted.
+    const auto retire = [&]() {
+      std::vector<Active> carried;
+      for (Active& req : active) {
+        const bool complete =
+            req.flopsDone >= req.accuracy.fmax() - 1e-9;
+        const bool hasTimeNextEpoch =
+            req.absoluteDeadline > epochEnd + options.epochSeconds;
+        const bool nextEpochRuns =
+            epochEnd + options.epochSeconds < options.horizonSeconds;
+        const bool carryNormal = options.carryBacklog && !complete &&
+                                 hasTimeNextEpoch && nextEpochRuns;
+        const bool carryRetry =
+            faults.enabled() && req.interrupted && !complete &&
+            hasTimeNextEpoch && nextEpochRuns &&
+            req.retryCount <= faults.maxRetries();
+        if (carryNormal || carryRetry) {
+          if (req.interrupted) {
+            ++stats.retries;
+            req.interrupted = false;
+          }
+          carried.push_back(std::move(req));
+        } else {
+          if (req.interrupted && !complete && hasTimeNextEpoch &&
+              nextEpochRuns && req.retryCount > faults.maxRetries()) {
+            ++stats.abandoned;
+          }
+          finalize(req);
+        }
+      }
+      active = std::move(carried);
+    };
+
+    // Replan against the machines that are actually alive at the epoch
+    // boundary; a machine that recovers mid-epoch rejoins next epoch.
+    std::vector<int> aliveIdx;
+    std::vector<Machine> aliveMachines;
+    if (faults.enabled()) {
+      for (int r = 0; r < static_cast<int>(machines.size()); ++r) {
+        if (faults.aliveAt(r, epochStart)) {
+          aliveIdx.push_back(r);
+          aliveMachines.push_back(machines[static_cast<std::size_t>(r)]);
+        }
+      }
+      if (aliveIdx.empty()) {
+        ++stats.noMachineEpochs;
+        stats.incidents.push_back(
+            {epoch, IncidentKind::kNoAliveMachines, 0.0});
+        retire();
+        continue;
+      }
+    }
+    const std::vector<Machine>& instMachines =
+        faults.enabled() ? aliveMachines : machines;
+
+    // Admission control: shed the requests with the least remaining accuracy
+    // headroom when the batch exceeds the configured load factor.
+    if (options.admissionLoadFactor > 0.0) {
+      const std::size_t cap = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::ceil(options.admissionLoadFactor *
+                                                static_cast<double>(
+                                                    instMachines.size()))));
+      if (active.size() > cap) {
+        std::vector<std::size_t> byHeadroom(active.size());
+        for (std::size_t i = 0; i < byHeadroom.size(); ++i) byHeadroom[i] = i;
+        std::stable_sort(byHeadroom.begin(), byHeadroom.end(),
+                         [&](std::size_t a, std::size_t b) {
+                           const auto headroom = [&](const Active& req) {
+                             return req.accuracy.amax() -
+                                    req.accuracy.value(req.flopsDone);
+                           };
+                           return headroom(active[a]) > headroom(active[b]);
+                         });
+        std::vector<bool> keep(active.size(), false);
+        for (std::size_t k = 0; k < cap; ++k) keep[byHeadroom[k]] = true;
+        std::vector<Active> kept;
+        kept.reserve(cap);
+        int shedHere = 0;
+        for (std::size_t i = 0; i < active.size(); ++i) {
+          if (keep[i]) {
+            kept.push_back(std::move(active[i]));
+          } else {
+            finalize(active[i]);
+            ++shedHere;
+          }
+        }
+        active = std::move(kept);
+        stats.shed += shedHere;
+        stats.incidents.push_back({epoch, IncidentKind::kAdmissionShed,
+                                   static_cast<double>(shedHere)});
+      }
+    }
 
     // Build a DSCT-EA instance with residual curves and deadlines relative
     // to the epoch end.
@@ -135,10 +277,85 @@ ServingStats runServingImpl(
                        return tasks[a].deadline < tasks[b].deadline;
                      });
 
-    Instance inst(tasks, machines,
-                  std::max(0.0, budgetFor(epochStart, epochEnd)));
-    const IntegralSchedule sched = schedule(policy, inst);
-    const ExecutionResult exec = executeSchedule(inst, sched);
+    double budget = std::max(0.0, budgetFor(epochStart, epochEnd));
+    const double shock = faults.budgetFactor(epoch);
+    if (shock != 1.0) {
+      budget *= shock;
+      ++stats.budgetShockEpochs;
+      stats.incidents.push_back({epoch, IncidentKind::kBudgetShock, shock});
+    }
+    Instance inst(tasks, instMachines, budget);
+
+    // Schedule the epoch. Guarded mode wraps the primary policy in a
+    // fallback chain: exception / injected failure / wall-clock timeout /
+    // validator rejection each demote the epoch to kEdfLevels, and if the
+    // fallback is rejected too the epoch serves an empty schedule rather
+    // than executing an infeasible one.
+    const IntegralSchedule sched = [&]() -> IntegralSchedule {
+      if (!guarded) return schedule(policy, inst);
+      const auto attempt =
+          [&](Policy p, bool primary) -> std::optional<IntegralSchedule> {
+        if (primary && faults.policyFailureInjected(epoch)) {
+          ++stats.policyFailures;
+          stats.incidents.push_back(
+              {epoch, IncidentKind::kPolicyFailure, 0.0});
+          return std::nullopt;
+        }
+        Stopwatch watch;
+        std::optional<IntegralSchedule> s;
+        try {
+          s = schedule(p, inst);
+        } catch (const std::exception&) {
+          if (primary) {
+            ++stats.policyFailures;
+            stats.incidents.push_back(
+                {epoch, IncidentKind::kPolicyFailure, 0.0});
+          }
+          return std::nullopt;
+        }
+        if (primary && options.epochTimeLimitSeconds > 0.0 &&
+            watch.elapsedSeconds() > options.epochTimeLimitSeconds) {
+          ++stats.policyFailures;
+          stats.incidents.push_back(
+              {epoch, IncidentKind::kPolicyTimeout, watch.elapsedSeconds()});
+          return std::nullopt;
+        }
+        if (!validate(inst, *s).feasible) {
+          ++stats.validatorRejections;
+          stats.incidents.push_back(
+              {epoch, IncidentKind::kValidatorReject, 0.0});
+          return std::nullopt;
+        }
+        return s;
+      };
+      std::optional<IntegralSchedule> s = attempt(policy, true);
+      if (!s.has_value() && policy != Policy::kEdfLevels) {
+        s = attempt(Policy::kEdfLevels, false);
+        if (s.has_value()) {
+          ++stats.fallbacks;
+          stats.incidents.push_back(
+              {epoch, IncidentKind::kFallbackEngaged, 0.0});
+        }
+      }
+      if (!s.has_value()) {
+        ++stats.fallbacks;
+        stats.incidents.push_back({epoch, IncidentKind::kEmptySchedule, 0.0});
+        s = IntegralSchedule::build(
+            inst,
+            std::vector<int>(static_cast<std::size_t>(inst.numTasks()), -1),
+            std::vector<double>(static_cast<std::size_t>(inst.numTasks()),
+                                0.0));
+      }
+      return *std::move(s);
+    }();
+
+    FaultContext ctx;
+    if (faults.enabled()) {
+      ctx.trace = &faults;
+      ctx.timeOffset = epochStart;
+      ctx.machineMap = aliveIdx;
+    }
+    const ExecutionResult exec = executeSchedule(inst, sched, CommModel{}, ctx);
 
     stats.totalEnergy += exec.totalEnergy;
     for (int j = 0; j < inst.numTasks(); ++j) {
@@ -148,25 +365,15 @@ ServingStats runServingImpl(
         req.flopsDone += te.flops;
         req.lastFinish = epochEnd + te.finish;
       }
+      if (te.interrupted) {
+        req.interrupted = true;
+        ++req.retryCount;
+        ++stats.interruptions;
+      }
       if (!te.deadlineMet) ++stats.deadlineMisses;
     }
 
-    // Retire requests; with carry-over, keep those that still have usable
-    // time next epoch and remaining accuracy headroom.
-    std::vector<Active> carried;
-    for (Active& req : active) {
-      const bool complete =
-          req.flopsDone >= req.accuracy.fmax() - 1e-9;
-      const bool hasTimeNextEpoch =
-          req.absoluteDeadline > epochEnd + options.epochSeconds;
-      if (options.carryBacklog && !complete && hasTimeNextEpoch &&
-          epochEnd + options.epochSeconds < options.horizonSeconds) {
-        carried.push_back(std::move(req));
-      } else {
-        finalize(req);
-      }
-    }
-    active = std::move(carried);
+    retire();
   }
   // Horizon over: retire whatever is still in flight. Arrivals at or past
   // the horizon (possible with caller-provided times) are outside the

@@ -12,6 +12,7 @@
 
 #include "sched/types.h"
 #include "sim/cluster.h"
+#include "sim/faults.h"
 
 namespace dsct::sim {
 
@@ -48,6 +49,49 @@ struct ServingOptions {
   /// one-shot batching).
   bool carryBacklog = false;
   std::uint64_t seed = 1;
+
+  /// Fault injection (crashes, stragglers, budget shocks) and the retry
+  /// budget for interrupted requests. When `faults.enabled` is false the
+  /// driver takes the exact pre-fault code path (regression-pinned).
+  FaultOptions faults;
+  /// Admission control: when > 0, at most ceil(admissionLoadFactor × alive
+  /// machines) requests enter an epoch's batch; the excess requests with the
+  /// least remaining accuracy headroom are shed (finalized at their current
+  /// accuracy) instead of letting the solver starve the whole batch. 0 (the
+  /// default) disables shedding.
+  double admissionLoadFactor = 0.0;
+  /// Per-epoch wall-clock limit for the primary policy (s); when exceeded
+  /// the epoch falls back to kEdfLevels. <= 0 (default) disables the check
+  /// — it is wall-clock based and therefore not replay-deterministic.
+  double epochTimeLimitSeconds = 0.0;
+  /// Run the feasibility validator on every epoch's schedule and fall back
+  /// when it rejects. Implied by faults.enabled; off by default to keep the
+  /// default path bit-identical to the pre-fault driver.
+  bool validateEpochs = false;
+};
+
+/// One line of the per-epoch incident log.
+enum class IncidentKind {
+  kPolicyFailure,     ///< primary policy threw (or failure was injected)
+  kPolicyTimeout,     ///< primary policy exceeded epochTimeLimitSeconds
+  kValidatorReject,   ///< a schedule failed the feasibility validator
+  kFallbackEngaged,   ///< epoch served by the kEdfLevels fallback
+  kEmptySchedule,     ///< fallback also failed; epoch served nothing
+  kNoAliveMachines,   ///< every machine was down at the epoch boundary
+  kBudgetShock,       ///< epoch budget scaled by the shock factor
+  kAdmissionShed,     ///< requests shed by admission control
+};
+
+const char* toString(IncidentKind kind);
+
+struct EpochIncident {
+  long long epoch = 0;
+  IncidentKind kind = IncidentKind::kPolicyFailure;
+  /// Kind-specific payload: shock factor for kBudgetShock, shed count for
+  /// kAdmissionShed, 0 otherwise.
+  double value = 0.0;
+
+  bool operator==(const EpochIncident&) const = default;
 };
 
 struct ServingStats {
@@ -58,6 +102,18 @@ struct ServingStats {
   double totalEnergy = 0.0;  ///< J over the whole run
   double meanLatency = 0.0;  ///< completion − arrival, over served requests
   int epochs = 0;
+
+  // Fault-tolerance counters (all zero on the fault-free path).
+  int interruptions = 0;       ///< request slices cut by machine crashes
+  int retries = 0;             ///< interrupted requests re-admitted later
+  int abandoned = 0;           ///< interrupted requests out of retry budget
+  int shed = 0;                ///< requests dropped by admission control
+  int fallbacks = 0;           ///< epochs not served by the primary policy
+  int policyFailures = 0;      ///< primary-policy throws/timeouts/injections
+  int validatorRejections = 0; ///< schedules rejected by the validator gate
+  int budgetShockEpochs = 0;
+  int noMachineEpochs = 0;     ///< epochs with every machine crashed
+  std::vector<EpochIncident> incidents;
 };
 
 ServingStats runServing(const std::vector<Machine>& machines, Policy policy,

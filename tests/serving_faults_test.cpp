@@ -1,0 +1,283 @@
+// Fault-tolerant serving: regression-pinned default path, deterministic
+// fault replay, crash/shock recovery, fallback chain, admission control.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/faults.h"
+#include "sim/renewable.h"
+#include "sim/serving.h"
+#include "util/check.h"
+#include "workload/gpu_catalog.h"
+
+namespace dsct {
+namespace {
+
+sim::ServingOptions referenceOptions() {
+  sim::ServingOptions o;
+  o.arrivalRatePerSecond = 18.0;
+  o.horizonSeconds = 5.0;
+  o.epochSeconds = 0.5;
+  o.relDeadlineLo = 0.4;
+  o.relDeadlineHi = 2.5;
+  o.energyBudgetPerEpoch = 40.0;
+  o.seed = 20240807;
+  return o;
+}
+
+void expectStatsEqual(const sim::ServingStats& a, const sim::ServingStats& b) {
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.served, b.served);
+  EXPECT_EQ(a.deadlineMisses, b.deadlineMisses);
+  EXPECT_EQ(a.epochs, b.epochs);
+  EXPECT_DOUBLE_EQ(a.meanAccuracy, b.meanAccuracy);
+  EXPECT_DOUBLE_EQ(a.totalEnergy, b.totalEnergy);
+  EXPECT_DOUBLE_EQ(a.meanLatency, b.meanLatency);
+  EXPECT_EQ(a.interruptions, b.interruptions);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.abandoned, b.abandoned);
+  EXPECT_EQ(a.shed, b.shed);
+  EXPECT_EQ(a.fallbacks, b.fallbacks);
+  EXPECT_EQ(a.policyFailures, b.policyFailures);
+  EXPECT_EQ(a.validatorRejections, b.validatorRejections);
+  EXPECT_EQ(a.budgetShockEpochs, b.budgetShockEpochs);
+  EXPECT_EQ(a.noMachineEpochs, b.noMachineEpochs);
+  EXPECT_EQ(a.incidents, b.incidents);
+}
+
+// The pinned values below were captured from the pre-fault driver (commit
+// f247675) with the exact options of referenceOptions(); they guard the
+// acceptance criterion that the faults-disabled path stays bit-identical.
+
+TEST(ServingGolden, DefaultPathOneShotBitIdentical) {
+  const auto machines = machinesFromCatalog({"T4", "V100"});
+  const auto s =
+      sim::runServing(machines, sim::Policy::kApprox, referenceOptions());
+  EXPECT_EQ(s.requests, 99);
+  EXPECT_EQ(s.served, 77);
+  EXPECT_EQ(s.deadlineMisses, 0);
+  EXPECT_EQ(s.epochs, 10);
+  EXPECT_DOUBLE_EQ(s.meanAccuracy, 0.32768861033259078);
+  EXPECT_DOUBLE_EQ(s.totalEnergy, 399.99999999999994);
+  EXPECT_DOUBLE_EQ(s.meanLatency, 0.33759255283732392);
+  EXPECT_EQ(s.interruptions, 0);
+  EXPECT_EQ(s.fallbacks, 0);
+  EXPECT_TRUE(s.incidents.empty());
+}
+
+TEST(ServingGolden, DefaultPathBacklogBitIdentical) {
+  const auto machines = machinesFromCatalog({"T4", "V100"});
+  auto options = referenceOptions();
+  options.carryBacklog = true;
+  const auto s = sim::runServing(machines, sim::Policy::kApprox, options);
+  EXPECT_EQ(s.requests, 99);
+  EXPECT_EQ(s.served, 75);
+  EXPECT_DOUBLE_EQ(s.meanAccuracy, 0.33395318251464207);
+  EXPECT_DOUBLE_EQ(s.totalEnergy, 399.99999999999994);
+  EXPECT_DOUBLE_EQ(s.meanLatency, 0.43272136877206679);
+}
+
+TEST(ServingGolden, DefaultPathEdfLevelsBitIdentical) {
+  const auto machines = machinesFromCatalog({"T4", "V100"});
+  const auto s =
+      sim::runServing(machines, sim::Policy::kEdfLevels, referenceOptions());
+  EXPECT_EQ(s.served, 31);
+  EXPECT_DOUBLE_EQ(s.meanAccuracy, 0.15260606060606044);
+  EXPECT_DOUBLE_EQ(s.totalEnergy, 387.78426112463819);
+  EXPECT_DOUBLE_EQ(s.meanLatency, 0.30709088392940115);
+}
+
+TEST(ServingGolden, DefaultPathRenewableBitIdentical) {
+  const auto machines = machinesFromCatalog({"T4", "V100"});
+  const auto options = referenceOptions();
+  const sim::PowerTrace supply({0.0, 2.0}, {30.0, 140.0});
+  const auto s =
+      sim::runServing(machines, sim::Policy::kApprox, options, supply);
+  EXPECT_EQ(s.served, 75);
+  EXPECT_DOUBLE_EQ(s.meanAccuracy, 0.34670914302531713);
+  EXPECT_DOUBLE_EQ(s.totalEnergy, 479.99999999999994);
+  EXPECT_DOUBLE_EQ(s.meanLatency, 0.36691141180828091);
+}
+
+// ------------------------------------------------------------ satellites --
+
+TEST(ServingOptionsCheck, ExplicitTraceDoesNotRequirePositiveRate) {
+  const auto machines = machinesFromCatalog({"T4"});
+  sim::ServingOptions options = referenceOptions();
+  options.arrivalTimes = {0.1, 0.4, 1.2, 2.7};
+  options.arrivalRatePerSecond = 0.0;  // unused and must not be rejected
+  const auto s = sim::runServing(machines, sim::Policy::kApprox, options);
+  EXPECT_EQ(s.requests, 4);
+  // Without a trace, a non-positive rate is still an error.
+  options.arrivalTimes.clear();
+  EXPECT_THROW(sim::runServing(machines, sim::Policy::kApprox, options),
+               CheckError);
+}
+
+// ------------------------------------------------------- fault injection --
+
+sim::ServingOptions faultyOptions() {
+  sim::ServingOptions o = referenceOptions();
+  o.carryBacklog = true;
+  o.faults.enabled = true;
+  o.faults.seed = 99;
+  o.faults.mtbfSeconds = 2.0;
+  o.faults.mttrSeconds = 1.0;
+  o.faults.slowdownMtbfSeconds = 3.0;
+  o.faults.slowdownMeanSeconds = 0.8;
+  o.faults.slowdownFactor = 0.5;
+  o.faults.budgetShockProbability = 0.5;
+  o.faults.budgetShockFactor = 0.3;
+  o.faults.maxRetries = 2;
+  o.faults.injectPolicyFailureEpochs = {3};
+  return o;
+}
+
+TEST(FaultServing, DeterministicReplayBitIdentical) {
+  const auto machines = machinesFromCatalog({"T4", "V100", "P100"});
+  const auto options = faultyOptions();
+  const auto a = sim::runServing(machines, sim::Policy::kApprox, options);
+  const auto b = sim::runServing(machines, sim::Policy::kApprox, options);
+  expectStatsEqual(a, b);
+}
+
+TEST(FaultServing, CrashShockAndInjectedFailureRecover) {
+  const auto machines = machinesFromCatalog({"T4", "V100", "P100"});
+  const auto options = faultyOptions();
+  const auto s = sim::runServing(machines, sim::Policy::kApprox, options);
+  // The run completes (no throw) and every arrival is finalized once.
+  EXPECT_EQ(s.requests, 99);
+  // The injected epoch-3 failure engaged the kEdfLevels fallback.
+  EXPECT_GE(s.policyFailures, 1);
+  EXPECT_GE(s.fallbacks, 1);
+  // MTBF 2 s over a 5 s horizon on 3 machines: crashes interrupt work...
+  EXPECT_GT(s.interruptions, 0);
+  // ...and interrupted requests re-enter later batches.
+  EXPECT_GT(s.retries, 0);
+  // Budget shocks hit with probability 0.5 over 10 epochs.
+  EXPECT_GT(s.budgetShockEpochs, 0);
+  // Every schedule passed the per-epoch validator gate.
+  EXPECT_EQ(s.validatorRejections, 0);
+  // The incident log names each counted event.
+  EXPECT_GE(static_cast<int>(s.incidents.size()),
+            s.policyFailures + s.fallbacks + s.budgetShockEpochs);
+  // Delivered accuracy degrades but the service still serves.
+  EXPECT_GT(s.served, 0);
+  EXPECT_GT(s.meanAccuracy, 0.0);
+  const auto clean =
+      sim::runServing(machines, sim::Policy::kApprox, [] {
+        auto o = faultyOptions();
+        o.faults = sim::FaultOptions{};
+        return o;
+      }());
+  EXPECT_LT(s.meanAccuracy, clean.meanAccuracy);
+}
+
+TEST(FaultServing, ZeroRateFaultTraceMatchesDisabled) {
+  // faults.enabled with every fault process switched off must not perturb
+  // the run: same arrivals, same schedules, same stats.
+  const auto machines = machinesFromCatalog({"T4", "V100"});
+  auto options = referenceOptions();
+  options.carryBacklog = true;
+  const auto off = sim::runServing(machines, sim::Policy::kApprox, options);
+  options.faults.enabled = true;  // all rates stay zero
+  const auto on = sim::runServing(machines, sim::Policy::kApprox, options);
+  expectStatsEqual(off, on);
+}
+
+TEST(FaultServing, AllMachinesDownEpochsAreCounted) {
+  const auto machines = machinesFromCatalog({"T4"});
+  auto options = referenceOptions();
+  options.faults.enabled = true;
+  options.faults.seed = 7;
+  options.faults.mtbfSeconds = 0.7;  // one machine, crashing constantly
+  options.faults.mttrSeconds = 2.0;
+  const auto s = sim::runServing(machines, sim::Policy::kApprox, options);
+  EXPECT_GT(s.noMachineEpochs, 0);
+  EXPECT_EQ(s.requests, 99);
+}
+
+TEST(FaultServing, RetryBudgetBoundsReadmissions) {
+  const auto machines = machinesFromCatalog({"T4", "V100"});
+  auto options = faultyOptions();
+  options.faults.injectPolicyFailureEpochs.clear();
+  options.faults.budgetShockProbability = 0.0;
+  options.relDeadlineLo = 3.0;  // long deadlines: retries not time-limited
+  options.relDeadlineHi = 5.0;
+  options.faults.maxRetries = 0;  // interrupted once → abandoned
+  options.carryBacklog = false;
+  const auto s = sim::runServing(machines, sim::Policy::kApprox, options);
+  EXPECT_GT(s.interruptions, 0);
+  EXPECT_EQ(s.retries, 0);
+  EXPECT_GT(s.abandoned, 0);
+
+  options.faults.maxRetries = 3;
+  const auto relaxed = sim::runServing(machines, sim::Policy::kApprox, options);
+  EXPECT_GT(relaxed.retries, 0);
+}
+
+TEST(FaultServing, InjectedFailureOnEdfLevelsFallsBackToEmptyEpoch) {
+  // When the primary policy IS the fallback policy, an injected failure
+  // leaves only the empty schedule: the epoch serves nothing but the run
+  // still completes and counts the incident.
+  const auto machines = machinesFromCatalog({"T4"});
+  auto options = referenceOptions();
+  options.faults.enabled = true;
+  options.faults.injectPolicyFailureEpochs = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const auto s = sim::runServing(machines, sim::Policy::kEdfLevels, options);
+  EXPECT_EQ(s.served, 0);
+  EXPECT_EQ(s.policyFailures, s.epochs);
+  EXPECT_EQ(s.fallbacks, s.epochs);
+  bool sawEmpty = false;
+  for (const auto& inc : s.incidents) {
+    if (inc.kind == sim::IncidentKind::kEmptySchedule) sawEmpty = true;
+  }
+  EXPECT_TRUE(sawEmpty);
+}
+
+TEST(FaultServing, AdmissionControlShedsLowestHeadroom) {
+  const auto machines = machinesFromCatalog({"T4"});
+  auto options = referenceOptions();
+  options.arrivalRatePerSecond = 40.0;
+  options.validateEpochs = true;  // engage the guarded path without faults
+  options.admissionLoadFactor = 3.0;  // ≤ 3 requests per epoch on 1 machine
+  const auto s = sim::runServing(machines, sim::Policy::kApprox, options);
+  options.admissionLoadFactor = 0.0;
+  const auto unshed = sim::runServing(machines, sim::Policy::kApprox, options);
+  EXPECT_GT(s.shed, 0);
+  // Shed requests are still finalized exactly once: same arrival stream,
+  // same request count.
+  EXPECT_EQ(s.requests, unshed.requests);
+  bool sawShed = false;
+  for (const auto& inc : s.incidents) {
+    if (inc.kind == sim::IncidentKind::kAdmissionShed) {
+      sawShed = true;
+      EXPECT_GT(inc.value, 0.0);
+    }
+  }
+  EXPECT_TRUE(sawShed);
+}
+
+TEST(FaultServing, ValidatedEpochsMatchUnguardedRun) {
+  // validateEpochs only gates infeasible schedules; with a well-behaved
+  // policy the guarded run must reproduce the unguarded stats exactly.
+  const auto machines = machinesFromCatalog({"T4", "V100"});
+  auto options = referenceOptions();
+  const auto plain = sim::runServing(machines, sim::Policy::kApprox, options);
+  options.validateEpochs = true;
+  const auto gated = sim::runServing(machines, sim::Policy::kApprox, options);
+  expectStatsEqual(plain, gated);
+}
+
+TEST(FaultServing, WorksWithRenewableSupply) {
+  const auto machines = machinesFromCatalog({"T4", "V100"});
+  auto options = faultyOptions();
+  const sim::PowerTrace supply({0.0, 2.0}, {40.0, 160.0});
+  const auto a = sim::runServing(machines, sim::Policy::kApprox, options, supply);
+  const auto b = sim::runServing(machines, sim::Policy::kApprox, options, supply);
+  EXPECT_EQ(a.requests, 99);
+  expectStatsEqual(a, b);
+}
+
+}  // namespace
+}  // namespace dsct

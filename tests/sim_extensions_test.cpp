@@ -216,6 +216,35 @@ TEST(CommAwareInstance, SchedulesStayFeasibleUnderComm) {
   }
 }
 
+TEST(CommAwareInstance, TransferBeyondDeadlineClampsAndStarvesTask) {
+  // A task whose input transfer alone exceeds its deadline must keep a tiny
+  // positive deadline (Instance rejects non-positive ones) and receive zero
+  // work end-to-end: the scheduler starves it and the simulator agrees.
+  const Instance inst = tinyInstance(1e9);
+  sim::CommModel comm;
+  // Task 0 (d = 1.0 s): 2 s transfer — hopeless. Task 1 (d = 2.0 s): free.
+  comm.taskBytes = {2e7, 0.0};
+  comm.joulesPerByte = 1e-7;
+  comm.bytesPerSecond = 1e7;
+  const Instance aware = sim::commAwareInstance(inst, comm);
+  EXPECT_GT(aware.task(0).deadline, 0.0);
+  EXPECT_LE(aware.task(0).deadline, 1e-9);
+  EXPECT_DOUBLE_EQ(aware.task(1).deadline, 2.0);
+  const IntegralSchedule s = solveApprox(aware).schedule;
+  // Schedule side: the clamped task gets no FLOPs.
+  EXPECT_DOUBLE_EQ(s.flops(aware, 0), 0.0);
+  EXPECT_GT(s.flops(aware, 1), 0.0);
+  // Simulator side agrees end-to-end: executed with comm accounting, the
+  // starved task contributes zero work and floor accuracy, and nothing
+  // violates a deadline.
+  const auto exec = sim::executeSchedule(inst, s, comm);
+  EXPECT_DOUBLE_EQ(exec.executions[0].flops, 0.0);
+  EXPECT_DOUBLE_EQ(exec.executions[0].accuracy,
+                   inst.task(0).accuracy.value(0.0));
+  EXPECT_EQ(exec.deadlineMisses, 0);
+  EXPECT_GT(exec.executions[1].flops, 0.0);
+}
+
 TEST(CommAwareInstance, BudgetNeverNegative) {
   const Instance inst = tinyInstance(1.0);
   sim::CommModel comm;

@@ -1,4 +1,4 @@
-# Smoke test for dsct_cli: generate → solve → validate → simulate.
+# Smoke test for dsct_cli: generate → solve → validate → simulate → serve.
 function(run_step)
   execute_process(COMMAND ${ARGV} RESULT_VARIABLE code OUTPUT_VARIABLE out
                   ERROR_VARIABLE err)
@@ -19,3 +19,9 @@ run_step(${CLI} solve ${inst} --algo edf3)
 run_step(${CLI} solve ${inst} --algo frlp)
 run_step(${CLI} solve ${inst} --algo mip --time-limit 10)
 run_step(${CLI} info ${inst} --tasks)
+# Serving loop: fault-free, then with the full fault model engaged.
+run_step(${CLI} serve --policy approx --horizon 2 --backlog)
+run_step(${CLI} serve --policy approx --horizon 2 --backlog --faults
+         --fault-seed 99 --mtbf 1.5 --mttr 0.8 --slow-mtbf 3 --slow-mean 0.5
+         --slow-factor 0.5 --shock-prob 0.4 --shock-factor 0.3
+         --max-retries 2 --load-factor 8 --incidents)

@@ -7,12 +7,19 @@
 //   dsct_cli info INSTANCE [--tasks]
 //   dsct_cli validate INSTANCE SCHEDULE
 //   dsct_cli simulate INSTANCE SCHEDULE [--trace]
+//   dsct_cli serve [--policy approx|edf|edf3] [--gpus T4,V100] [--rate R]
+//            [--horizon S] [--epoch S] [--budget J] [--seed N] [--backlog]
+//            [--load-factor F] [--faults] [--fault-seed N] [--mtbf S]
+//            [--mttr S] [--slow-mtbf S] [--slow-mean S] [--slow-factor F]
+//            [--shock-prob P] [--shock-factor F] [--max-retries N]
+//            [--incidents]
 //
 // Exit code 0 on success (and, for `validate`, a feasible schedule);
 // 1 on usage errors, 2 on infeasibility.
 #include <iostream>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -68,7 +75,13 @@ int usage() {
       "           [--time-limit SEC] [--out SCHEDULE] [--gantt]\n"
       "  dsct_cli info INSTANCE [--tasks]\n"
       "  dsct_cli validate INSTANCE SCHEDULE\n"
-      "  dsct_cli simulate INSTANCE SCHEDULE [--trace]\n";
+      "  dsct_cli simulate INSTANCE SCHEDULE [--trace]\n"
+      "  dsct_cli serve [--policy approx|edf|edf3] [--gpus T4,V100]\n"
+      "           [--rate R] [--horizon S] [--epoch S] [--budget J]\n"
+      "           [--seed N] [--backlog] [--load-factor F] [--faults]\n"
+      "           [--fault-seed N] [--mtbf S] [--mttr S] [--slow-mtbf S]\n"
+      "           [--slow-mean S] [--slow-factor F] [--shock-prob P]\n"
+      "           [--shock-factor F] [--max-retries N] [--incidents]\n";
   return 1;
 }
 
@@ -205,6 +218,73 @@ int cmdSimulate(const Args& args) {
   return exec.deadlineMisses == 0 ? 0 : 2;
 }
 
+int cmdServe(const Args& args) {
+  const std::string policyName = args.get("policy", "approx");
+  sim::Policy policy;
+  if (policyName == "approx") {
+    policy = sim::Policy::kApprox;
+  } else if (policyName == "edf") {
+    policy = sim::Policy::kEdfNoCompression;
+  } else if (policyName == "edf3") {
+    policy = sim::Policy::kEdfLevels;
+  } else {
+    return usage();
+  }
+
+  std::vector<std::string> gpus;
+  std::stringstream list(args.get("gpus", "T4,V100"));
+  for (std::string name; std::getline(list, name, ',');) {
+    if (!name.empty()) gpus.push_back(name);
+  }
+  const std::vector<Machine> machines = machinesFromCatalog(gpus);
+
+  sim::ServingOptions options;
+  options.arrivalRatePerSecond = args.getDouble("rate", 18.0);
+  options.horizonSeconds = args.getDouble("horizon", 5.0);
+  options.epochSeconds = args.getDouble("epoch", 0.5);
+  options.energyBudgetPerEpoch = args.getDouble("budget", 40.0);
+  options.seed = static_cast<std::uint64_t>(args.getInt("seed", 2024));
+  options.carryBacklog = args.has("backlog");
+  options.admissionLoadFactor = args.getDouble("load-factor", 0.0);
+  options.faults.enabled = args.has("faults");
+  options.faults.seed =
+      static_cast<std::uint64_t>(args.getInt("fault-seed", 2024));
+  options.faults.mtbfSeconds = args.getDouble("mtbf", 0.0);
+  options.faults.mttrSeconds = args.getDouble("mttr", 1.0);
+  options.faults.slowdownMtbfSeconds = args.getDouble("slow-mtbf", 0.0);
+  options.faults.slowdownMeanSeconds = args.getDouble("slow-mean", 1.0);
+  options.faults.slowdownFactor = args.getDouble("slow-factor", 0.5);
+  options.faults.budgetShockProbability = args.getDouble("shock-prob", 0.0);
+  options.faults.budgetShockFactor = args.getDouble("shock-factor", 1.0);
+  options.faults.maxRetries = args.getInt("max-retries", 2);
+
+  const sim::ServingStats s = sim::runServing(machines, policy, options);
+  std::cout << "policy         : " << toString(policy) << '\n'
+            << "requests       : " << s.requests << " (" << s.served
+            << " served over " << s.epochs << " epochs)\n"
+            << "mean accuracy  : " << s.meanAccuracy << '\n'
+            << "mean latency   : " << s.meanLatency << " s\n"
+            << "energy         : " << s.totalEnergy << " J\n"
+            << "deadline misses: " << s.deadlineMisses << '\n';
+  if (options.faults.enabled || options.admissionLoadFactor > 0.0) {
+    std::cout << "interruptions  : " << s.interruptions << " (" << s.retries
+              << " retries, " << s.abandoned << " abandoned)\n"
+              << "fallbacks      : " << s.fallbacks << " ("
+              << s.policyFailures << " policy failures, "
+              << s.validatorRejections << " validator rejections)\n"
+              << "shed           : " << s.shed << '\n'
+              << "shocked epochs : " << s.budgetShockEpochs << " ("
+              << s.noMachineEpochs << " with no machine alive)\n";
+  }
+  if (args.has("incidents")) {
+    for (const sim::EpochIncident& incident : s.incidents) {
+      std::cout << "incident       : epoch " << incident.epoch << ' '
+                << toString(incident.kind) << " (" << incident.value << ")\n";
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -217,6 +297,7 @@ int main(int argc, char** argv) {
     if (command == "solve") return cmdSolve(args);
     if (command == "validate") return cmdValidate(args);
     if (command == "simulate") return cmdSimulate(args);
+    if (command == "serve") return cmdServe(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
