@@ -30,21 +30,26 @@ int main() {
   const auto rows = runFig4a(config, runner);
 
   Table table({"n", "approx (s)", "mip (s)", "mip timeouts",
-               "approx avg acc", "mip avg acc"});
+               "approx avg acc", "mip avg acc", "refine (s)",
+               "slack queries", "slack hits"});
   CsvWriter csv("fig4a_time_vs_tasks.csv",
                 {"n", "approx_seconds", "mip_seconds", "mip_timeouts",
-                 "approx_accuracy", "mip_accuracy"});
+                 "approx_accuracy", "mip_accuracy", "refine_seconds",
+                 "slack_queries", "slack_hits", "slack_rebuilds"});
   for (const Fig4Row& row : rows) {
     const double mipAcc =
         row.mipAccuracy.empty() ? -1.0 : row.mipAccuracy.mean();
     table.addRow(std::vector<double>{
         static_cast<double>(row.size), row.approxSeconds.mean(),
         row.mipSeconds.mean(), static_cast<double>(row.mipTimeouts),
-        row.approxAccuracy.mean(), mipAcc});
+        row.approxAccuracy.mean(), mipAcc, row.refineSeconds.mean(),
+        row.slackQueries.mean(), row.slackHits.mean()});
     csv.addRow(std::vector<double>{
         static_cast<double>(row.size), row.approxSeconds.mean(),
         row.mipSeconds.mean(), static_cast<double>(row.mipTimeouts),
-        row.approxAccuracy.mean(), mipAcc});
+        row.approxAccuracy.mean(), mipAcc, row.refineSeconds.mean(),
+        row.slackQueries.mean(), row.slackHits.mean(),
+        row.slackRebuilds.mean()});
   }
   table.print(std::cout);
   std::cout << "\npaper's message: the solver hits its time limit already at"

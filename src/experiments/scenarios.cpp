@@ -114,6 +114,11 @@ Fig4Row runFig4Point(const Fig4Config& config, int n, int m, int pointIndex) {
     row.approxSeconds.add(watch.elapsedSeconds());
     row.approxAccuracy.add(approx.totalAccuracy /
                            static_cast<double>(std::max(1, n)));
+    const FrOptCounters& counters = approx.fractional.counters;
+    row.refineSeconds.add(counters.refineSeconds);
+    row.slackQueries.add(static_cast<double>(counters.slackQueries));
+    row.slackHits.add(static_cast<double>(counters.slackHits));
+    row.slackRebuilds.add(static_cast<double>(counters.slackRebuilds));
 
     DsctMip mip = buildMip(inst);
     if (tableauBytes(mip.model) > kMaxTableauBytes) {

@@ -72,6 +72,13 @@ struct Fig4Row {
   int mipTimeouts = 0;       ///< replications that hit the time limit
   RunningStats approxAccuracy;
   RunningStats mipAccuracy;  ///< incumbent accuracy (even when timed out)
+  // FR-OPT slack-engine behaviour per APPROX solve (FrOptCounters): where
+  // the refine time goes and how much of it the (task, machine) memo
+  // absorbs. Printed by bench/fig4a and bench/fig4b next to the runtimes.
+  RunningStats refineSeconds;   ///< wall time inside RefineProfile
+  RunningStats slackQueries;    ///< deadline-slack queries per solve
+  RunningStats slackHits;       ///< queries served from the memo
+  RunningStats slackRebuilds;   ///< per-machine column recomputations
 };
 
 std::vector<Fig4Row> runFig4a(const Fig4Config& config,

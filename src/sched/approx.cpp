@@ -187,7 +187,13 @@ IntegralSchedule roundFractional(const Instance& inst,
 
 ApproxResult solveApprox(const Instance& inst,
                          const RefineOptions& refineOptions) {
-  FrOptResult fr = solveFrOpt(inst, refineOptions);
+  FrOptOptions options;
+  options.refine = refineOptions;
+  return solveApprox(inst, options);
+}
+
+ApproxResult solveApprox(const Instance& inst, const FrOptOptions& options) {
+  FrOptResult fr = solveFrOpt(inst, options);
   IntegralSchedule rounded = roundFractional(inst, fr.schedule);
   ApproxResult result{std::move(rounded), std::move(fr),
                       approximationGuarantee(inst), 0.0, 0.0, 0.0};

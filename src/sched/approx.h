@@ -28,6 +28,9 @@ struct ApproxResult {
 
 ApproxResult solveApprox(const Instance& inst,
                          const RefineOptions& refineOptions = {});
+/// Full-options overload: threading and the cross-solve ProfileCache the
+/// serving loop carries across epochs (FrOptOptions::sharedCache).
+ApproxResult solveApprox(const Instance& inst, const FrOptOptions& options);
 
 /// Rounding step alone (exposed for tests): integralises a fractional
 /// solution using per-machine load quotas `wmax`.

@@ -65,7 +65,8 @@ std::vector<EnergyProfile> expansionCandidates(const Instance& inst,
 std::optional<PairMove> bestPairMove(const Instance& inst,
                                      const ProfileEvaluator& evaluator,
                                      const EnergyProfile& loads,
-                                     double baseAccuracy, ThreadPool* pool) {
+                                     double baseAccuracy, ThreadPool* pool,
+                                     const PairProbeHook* probeHook) {
   const double horizon = inst.maxDeadline();
   const int m = inst.numMachines();
 
@@ -110,6 +111,7 @@ std::optional<PairMove> bestPairMove(const Instance& inst,
       // delta <= cap keeps the recipient at or below the horizon: energy is
       // conserved without clamping.
       profile[static_cast<std::size_t>(dir.to)] += delta / powerTo;
+      if (probeHook != nullptr) (*probeHook)(dir.from, dir.to, delta, profile);
       return evaluator.evaluate(profile);
     };
     PairMove move;
@@ -139,6 +141,9 @@ std::optional<PairMove> bestPairMove(const Instance& inst,
     move.profile = loads;
     move.profile[static_cast<std::size_t>(dir.from)] -= move.delta / powerFrom;
     move.profile[static_cast<std::size_t>(dir.to)] += move.delta / powerTo;
+    if (probeHook != nullptr) {
+      (*probeHook)(dir.from, dir.to, move.delta, move.profile);
+    }
     move.accuracy = evaluator.evaluate(move.profile);
     return move;
   };
@@ -170,7 +175,11 @@ FrOptResult solveFrOpt(const Instance& inst,
 
 FrOptResult solveFrOpt(const Instance& inst, const FrOptOptions& options) {
   const Stopwatch totalWatch;
-  ProfileEvaluator evaluator(inst);
+  ProfileEvaluator evaluator(inst, options.sharedCache);
+  // Attribute only this solve's cross-solve cache traffic to its counters.
+  const ProfileCacheCounters crossBefore =
+      options.sharedCache != nullptr ? options.sharedCache->counters()
+                                     : ProfileCacheCounters{};
 
   std::unique_ptr<ThreadPool> ownedPool;
   ThreadPool* pool = options.pool;
@@ -383,6 +392,10 @@ FrOptResult solveFrOpt(const Instance& inst, const FrOptOptions& options) {
       result.refineStats.rounds += stats.rounds;
       result.refineStats.transfers += stats.transfers;
       result.refineStats.energyMoved += stats.energyMoved;
+      result.refineStats.slack.queries += stats.slack.queries;
+      result.refineStats.slack.hits += stats.slack.hits;
+      result.refineStats.slack.rebuilds += stats.slack.rebuilds;
+      result.refineStats.slack.invalidations += stats.slack.invalidations;
       // refineProfile mutates the schedule in place; refresh the incumbent
       // accuracy before re-solving for the refined loads.
       currentAccuracy = result.schedule.totalAccuracy(inst);
@@ -417,6 +430,17 @@ FrOptResult solveFrOpt(const Instance& inst, const FrOptOptions& options) {
   result.counters.evaluations = ec.evaluations;
   result.counters.cacheHits = ec.cacheHits;
   result.counters.scheduleSolves = ec.scheduleSolves;
+  result.counters.slackQueries = result.refineStats.slack.queries;
+  result.counters.slackHits = result.refineStats.slack.hits;
+  result.counters.slackRebuilds = result.refineStats.slack.rebuilds;
+  result.counters.slackInvalidations = result.refineStats.slack.invalidations;
+  if (options.sharedCache != nullptr) {
+    const ProfileCacheCounters crossAfter = options.sharedCache->counters();
+    result.counters.crossHits = crossAfter.hits - crossBefore.hits;
+    result.counters.crossMisses = crossAfter.misses - crossBefore.misses;
+    result.counters.crossInvalidations =
+        crossAfter.invalidations - crossBefore.invalidations;
+  }
   result.counters.totalSeconds = totalWatch.elapsedSeconds();
   return result;
 }

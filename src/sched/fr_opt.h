@@ -4,9 +4,11 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <optional>
 
 #include "sched/energy_profile.h"
+#include "sched/profile_cache.h"
 #include "sched/profile_evaluator.h"
 #include "sched/refine_profile.h"
 #include "sched/schedule.h"
@@ -32,6 +34,18 @@ struct FrOptCounters {
   double pairSeconds = 0.0;        ///< wall time in the pairwise search
   double directionSeconds = 0.0;   ///< wall time in the direction search
   double totalSeconds = 0.0;       ///< whole solve
+
+  // RefineProfile's incremental slack engine (summed over refine calls).
+  long long slackQueries = 0;
+  long long slackHits = 0;          ///< served from the (task, machine) memo
+  long long slackRebuilds = 0;      ///< per-machine column recomputations
+  long long slackInvalidations = 0; ///< machine version bumps
+
+  // Cross-solve ProfileCache traffic attributable to this solve (all zero
+  // when no cache is attached via FrOptOptions::sharedCache).
+  long long crossHits = 0;
+  long long crossMisses = 0;
+  long long crossInvalidations = 0;
 };
 
 struct FrOptOptions {
@@ -44,6 +58,11 @@ struct FrOptOptions {
   /// Borrowed pool (overrides `threads`). Safe to pass the pool whose worker
   /// is running this solve: the fan-out then executes inline.
   ThreadPool* pool = nullptr;
+  /// Borrowed cross-solve evaluation cache (see profile_cache.h). Attaching
+  /// one never changes the solution — shared hits are bit-identical to
+  /// fresh evaluations — it only skips repeated work across solves. The
+  /// serving loop passes one cache across all of a run's epochs.
+  ProfileCache* sharedCache = nullptr;
 };
 
 struct FrOptResult {
@@ -72,10 +91,20 @@ struct PairMove {
   double accuracy = 0.0;  ///< evaluator accuracy of `profile`
   EnergyProfile profile;  ///< loads after the move
 };
+/// Validator hook for property tests: invoked with every profile the pair
+/// search is about to evaluate (screen probes, ternary-search probes, and
+/// the final move profile), together with the direction and transfer size
+/// that produced it. When a ThreadPool is supplied the hook runs on worker
+/// threads and must be thread-safe.
+using PairProbeHook =
+    std::function<void(int from, int to, double delta,
+                       const EnergyProfile& probe)>;
+
 std::optional<PairMove> bestPairMove(const Instance& inst,
                                      const ProfileEvaluator& evaluator,
                                      const EnergyProfile& loads,
                                      double baseAccuracy,
-                                     ThreadPool* pool = nullptr);
+                                     ThreadPool* pool = nullptr,
+                                     const PairProbeHook* probeHook = nullptr);
 
 }  // namespace dsct

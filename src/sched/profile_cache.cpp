@@ -1,0 +1,85 @@
+#include "sched/profile_cache.h"
+
+#include <bit>
+
+namespace dsct {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+inline void mix(std::uint64_t& h, std::uint64_t v) {
+  h ^= v;
+  h *= kFnvPrime;
+}
+
+inline void mix(std::uint64_t& h, double v) {
+  mix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+}  // namespace
+
+std::uint64_t instanceFingerprint(const Instance& inst) {
+  std::uint64_t h = kFnvOffset;
+  mix(h, static_cast<std::uint64_t>(inst.numTasks()));
+  mix(h, static_cast<std::uint64_t>(inst.numMachines()));
+  mix(h, inst.energyBudget());
+  for (const Machine& machine : inst.machines()) {
+    mix(h, machine.speed);
+    mix(h, machine.efficiency);
+  }
+  for (const Task& task : inst.tasks()) {
+    mix(h, task.deadline);
+    const PiecewiseLinearAccuracy& acc = task.accuracy;
+    mix(h, static_cast<std::uint64_t>(acc.numSegments()));
+    for (int k = 0; k <= acc.numSegments(); ++k) {
+      mix(h, acc.breakpoint(k));
+      mix(h, acc.valueAt(k));
+    }
+  }
+  return h;
+}
+
+ProfileCache::ProfileCache(std::size_t maxEntries)
+    : maxEntries_(std::max<std::size_t>(1, maxEntries)) {}
+
+std::size_t ProfileCache::KeyHash::operator()(const Key& key) const {
+  std::uint64_t h = kFnvOffset;
+  mix(h, key.fingerprint);
+  for (std::uint64_t bits : key.profileBits) mix(h, bits);
+  return static_cast<std::size_t>(h);
+}
+
+ProfileCache::Key ProfileCache::keyOf(std::uint64_t fingerprint,
+                                      const EnergyProfile& profile) {
+  Key key;
+  key.fingerprint = fingerprint;
+  key.profileBits.reserve(profile.size());
+  for (double p : profile) {
+    key.profileBits.push_back(std::bit_cast<std::uint64_t>(p));
+  }
+  return key;
+}
+
+std::optional<double> ProfileCache::lookup(std::uint64_t fingerprint,
+                                           const EnergyProfile& profile) {
+  const auto it = entries_.find(keyOf(fingerprint, profile));
+  if (it == entries_.end()) {
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  ++counters_.hits;
+  return it->second;
+}
+
+void ProfileCache::store(std::uint64_t fingerprint,
+                         const EnergyProfile& profile, double value) {
+  if (entries_.size() >= maxEntries_) {
+    counters_.invalidations += static_cast<long long>(entries_.size());
+    entries_.clear();
+  }
+  entries_.emplace(keyOf(fingerprint, profile), value);
+}
+
+}  // namespace dsct

@@ -9,13 +9,15 @@
 
 namespace dsct {
 
-ProfileEvaluator::ProfileEvaluator(const Instance& inst) : inst_(inst) {
+ProfileEvaluator::ProfileEvaluator(const Instance& inst, ProfileCache* shared)
+    : inst_(inst), shared_(shared) {
   sortedSegments_ = makeSegmentJobs(inst.tasks());
   sortSegmentJobs(sortedSegments_);
   // Key resolution well below any meaningful profile difference (the line
   // searches stop at 1e-12 of their interval) but coarse enough that a
   // re-evaluation of the same point hits the cache despite rounding noise.
   quantum_ = std::max(inst.maxDeadline(), 1e-9) * 1e-13;
+  if (shared_ != nullptr) fingerprint_ = instanceFingerprint(inst);
 }
 
 std::size_t ProfileEvaluator::CacheKeyHash::operator()(
@@ -62,7 +64,18 @@ double ProfileEvaluator::cached(const EnergyProfile& profile) {
     ++cacheHits_;
     return it->second;
   }
+  // The shared cache is consulted only after the local memo (so attaching
+  // one cannot change which quantised key serves a lookup) and keys on the
+  // exact profile bits, so a hit equals a fresh evaluation bit for bit.
+  if (shared_ != nullptr) {
+    if (const std::optional<double> hit =
+            shared_->lookup(fingerprint_, profile)) {
+      cache_.emplace(std::move(key), *hit);
+      return *hit;
+    }
+  }
   const double value = evaluate(profile);
+  if (shared_ != nullptr) shared_->store(fingerprint_, profile, value);
   cache_.emplace(std::move(key), value);
   return value;
 }
@@ -70,33 +83,57 @@ double ProfileEvaluator::cached(const EnergyProfile& profile) {
 std::vector<double> ProfileEvaluator::batch(
     std::span<const EnergyProfile> profiles, ThreadPool* pool) {
   std::vector<double> out(profiles.size(), 0.0);
-  std::vector<std::size_t> misses;
-  std::vector<CacheKey> missKeys;
+  // Local-memo misses, in index order. Shared-cache hits resolve their value
+  // immediately but join the same deferred memoisation pass as computed
+  // misses: memoising them inline would let an intra-batch quantised-key
+  // collision serve a shared value where the cache-less run computes its
+  // own, breaking the "attaching a cache never changes results" contract.
+  std::vector<std::size_t> pending;
+  std::vector<CacheKey> pendingKeys;
+  std::vector<char> resolved;  ///< 1 = out[i] already holds a shared hit
+  std::vector<std::size_t> toCompute;
   for (std::size_t i = 0; i < profiles.size(); ++i) {
     CacheKey key = keyOf(profiles[i]);
     const auto it = cache_.find(key);
     if (it != cache_.end()) {
       ++cacheHits_;
       out[i] = it->second;
-    } else {
-      misses.push_back(i);
-      missKeys.push_back(std::move(key));
+      continue;
     }
+    bool fromShared = false;
+    if (shared_ != nullptr) {
+      if (const std::optional<double> hit =
+              shared_->lookup(fingerprint_, profiles[i])) {
+        out[i] = *hit;
+        fromShared = true;
+      }
+    }
+    if (!fromShared) toCompute.push_back(i);
+    pending.push_back(i);
+    pendingKeys.push_back(std::move(key));
+    resolved.push_back(fromShared ? 1 : 0);
   }
   std::vector<double> values;
-  if (pool != nullptr && misses.size() > 1) {
-    values = pool->parallelMap(misses.size(), [&](std::size_t k) {
-      return evaluate(profiles[misses[k]]);
+  if (pool != nullptr && toCompute.size() > 1) {
+    values = pool->parallelMap(toCompute.size(), [&](std::size_t k) {
+      return evaluate(profiles[toCompute[k]]);
     });
   } else {
-    values.reserve(misses.size());
-    for (std::size_t k = 0; k < misses.size(); ++k) {
-      values.push_back(evaluate(profiles[misses[k]]));
+    values.reserve(toCompute.size());
+    for (std::size_t k = 0; k < toCompute.size(); ++k) {
+      values.push_back(evaluate(profiles[toCompute[k]]));
     }
   }
-  for (std::size_t k = 0; k < misses.size(); ++k) {
-    out[misses[k]] = values[k];
-    cache_.emplace(std::move(missKeys[k]), values[k]);
+  std::size_t computed = 0;
+  for (std::size_t k = 0; k < pending.size(); ++k) {
+    if (!resolved[k]) {
+      out[pending[k]] = values[computed];
+      if (shared_ != nullptr) {
+        shared_->store(fingerprint_, profiles[pending[k]], values[computed]);
+      }
+      ++computed;
+    }
+    cache_.emplace(std::move(pendingKeys[k]), out[pending[k]]);
   }
   return out;
 }

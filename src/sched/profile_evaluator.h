@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "sched/energy_profile.h"
+#include "sched/profile_cache.h"
 #include "sched/schedule.h"
 #include "sched/single_machine.h"
 #include "sched/types.h"
@@ -39,7 +40,13 @@ struct EvaluatorCounters {
 
 class ProfileEvaluator {
  public:
-  explicit ProfileEvaluator(const Instance& inst);
+  /// `shared` (optional, borrowed) is a cross-solve ProfileCache consulted
+  /// on local-memo misses and fed every newly computed answer. Shared hits
+  /// are bit-identical to fresh evaluations (exact-bit keys; see
+  /// profile_cache.h), so attaching a cache never changes results. Lookups
+  /// and stores happen on the coordinating thread only.
+  explicit ProfileEvaluator(const Instance& inst,
+                            ProfileCache* shared = nullptr);
 
   ProfileEvaluator(const ProfileEvaluator&) = delete;
   ProfileEvaluator& operator=(const ProfileEvaluator&) = delete;
@@ -80,6 +87,9 @@ class ProfileEvaluator {
   const Instance& inst_;
   std::vector<SegmentJob> sortedSegments_;  ///< slope-desc, built once
   double quantum_;  ///< cache-key resolution (seconds of profile)
+
+  ProfileCache* shared_;           ///< cross-solve cache (may be null)
+  std::uint64_t fingerprint_ = 0;  ///< instance fingerprint (when shared)
 
   std::unordered_map<CacheKey, double, CacheKeyHash> cache_;
   mutable std::atomic<long long> evaluations_{0};

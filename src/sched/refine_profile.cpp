@@ -23,21 +23,6 @@ struct Pair {
 
 constexpr double kPsiTol = 1e-12;
 
-/// min_{i >= j} (d_i − prefix_i(r)): the largest amount by which t_{jr} can
-/// grow without violating any deadline at or after j on machine r.
-double deadlineSlack(const Instance& inst, const FractionalSchedule& s, int j,
-                     int r) {
-  double prefix = 0.0;
-  for (int i = 0; i < j; ++i) prefix += s.at(i, r);
-  double slack = std::numeric_limits<double>::infinity();
-  for (int i = j; i < inst.numTasks(); ++i) {
-    prefix += s.at(i, r);
-    slack = std::min(slack, inst.task(i).deadline - prefix);
-    if (slack <= 0.0) return 0.0;
-  }
-  return slack;
-}
-
 }  // namespace
 
 RefineStats refineProfile(const Instance& inst, FractionalSchedule& schedule,
@@ -72,6 +57,10 @@ RefineStats refineProfile(const Instance& inst, FractionalSchedule& schedule,
     flops[static_cast<std::size_t>(j)] = schedule.flops(inst, j);
   }
 
+  // Deadline slacks, served from the incremental engine (or the scratch scan
+  // when options.incrementalSlack is off — bit-identical either way).
+  SlackEngine slackEngine(inst, schedule, options.incrementalSlack);
+
   for (stats.rounds = 0; stats.rounds < options.maxRounds; ++stats.rounds) {
     long transfersThisRound = 0;
     for (std::size_t p = 0; p < pairs.size(); ++p) {
@@ -84,8 +73,7 @@ RefineStats refineProfile(const Instance& inst, FractionalSchedule& schedule,
       // marginal gain is at least grow.slope per TFLOP (concavity).
       const double growFlops = grow.fHi - fj;
       if (growFlops <= 1e-12) continue;
-      const double slack =
-          deadlineSlack(inst, schedule, grow.task, grow.machine);
+      const double slack = slackEngine.slack(grow.task, grow.machine);
       double eAdd = std::min(growFlops / mr.efficiency,
                              std::max(0.0, slack) * mr.power());
       if (eAdd <= options.tol) continue;
@@ -115,6 +103,8 @@ RefineStats refineProfile(const Instance& inst, FractionalSchedule& schedule,
         flops[static_cast<std::size_t>(shrink.task)] -=
             eTransfer * ms.efficiency;
 
+        slackEngine.onTransfer(grow.machine, shrink.machine);
+
         eAdd -= eTransfer;
         stats.energyMoved += eTransfer;
         ++stats.transfers;
@@ -123,6 +113,7 @@ RefineStats refineProfile(const Instance& inst, FractionalSchedule& schedule,
     }
     if (transfersThisRound == 0) break;
   }
+  stats.slack = slackEngine.counters();
   return stats;
 }
 

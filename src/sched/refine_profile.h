@@ -9,6 +9,7 @@
 #pragma once
 
 #include "sched/schedule.h"
+#include "sched/slack_engine.h"
 #include "sched/types.h"
 
 namespace dsct {
@@ -18,12 +19,18 @@ struct RefineOptions {
   /// at least one transfer is followed by another, so this is a safety net.
   int maxRounds = 64;
   double tol = 1e-10;  ///< minimum transferred energy (J)
+  /// Serve deadline slacks from the incremental SlackEngine (memo + suffix
+  /// trees with per-machine version invalidation). False forces the O(n)
+  /// scratch scan on every query; both modes are bit-identical (the
+  /// differential harness in tests/sched_slack_cache_test.cpp enforces it).
+  bool incrementalSlack = true;
 };
 
 struct RefineStats {
   int rounds = 0;
   long transfers = 0;
   double energyMoved = 0.0;  ///< total Joules re-allocated
+  SlackCounters slack;       ///< slack-engine cache behaviour
 };
 
 /// Refines `schedule` in place. Total energy consumption never increases;

@@ -1,0 +1,92 @@
+// Lazy segment tree over per-task deadline slacks v_i = d_i − prefix_i with
+// two operations, both on suffix ranges [j, n): minimum query and uniform
+// add. Granting `c` seconds to task j shrinks every slack at or after j by
+// `c`, so Algorithm 1's inner loops become O(log n) instead of O(n).
+//
+// Shared between Algorithm 1 (single_machine.cpp, which uses the lazy
+// suffixAdd path) and RefineProfile's incremental slack engine
+// (slack_engine.cpp, which only rebuilds via assign() and queries — min over
+// unmodified leaves is exact in floating point, which is what makes the
+// engine bit-identical to a scratch recomputation; see DESIGN.md §11).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace dsct {
+
+class SuffixSlackTree {
+ public:
+  SuffixSlackTree() = default;
+  explicit SuffixSlackTree(std::span<const double> initial) { assign(initial); }
+
+  /// (Re)build from leaf values, reusing storage when the size is unchanged.
+  /// All pending adds are cleared: queries afterwards return exact minima
+  /// over the given leaves.
+  void assign(std::span<const double> initial) {
+    n_ = initial.size();
+    std::size_t size = 1;
+    while (size < std::max<std::size_t>(1, n_)) size <<= 1;
+    if (size != size_ || min_.empty()) {
+      size_ = size;
+      min_.assign(2 * size_, std::numeric_limits<double>::infinity());
+      add_.assign(2 * size_, 0.0);
+    } else {
+      std::fill(min_.begin(), min_.end(),
+                std::numeric_limits<double>::infinity());
+      std::fill(add_.begin(), add_.end(), 0.0);
+    }
+    for (std::size_t i = 0; i < n_; ++i) min_[size_ + i] = initial[i];
+    for (std::size_t i = size_ - 1; i >= 1; --i) {
+      min_[i] = std::min(min_[2 * i], min_[2 * i + 1]);
+    }
+  }
+
+  /// min_{i >= j} v_i (infinity for j >= n).
+  double suffixMin(std::size_t j) const {
+    if (j >= n_) return std::numeric_limits<double>::infinity();
+    return rangeMin(1, 0, size_, j, n_);
+  }
+
+  /// v_i += delta for all i >= j.
+  void suffixAdd(std::size_t j, double delta) {
+    if (j >= n_) return;
+    rangeAdd(1, 0, size_, j, n_, delta);
+  }
+
+ private:
+  double rangeMin(std::size_t node, std::size_t lo, std::size_t hi,
+                  std::size_t ql, std::size_t qr) const {
+    if (qr <= lo || hi <= ql) {
+      return std::numeric_limits<double>::infinity();
+    }
+    if (ql <= lo && hi <= qr) return min_[node] + add_[node];
+    const std::size_t mid = (lo + hi) / 2;
+    return add_[node] + std::min(rangeMin(2 * node, lo, mid, ql, qr),
+                                 rangeMin(2 * node + 1, mid, hi, ql, qr));
+  }
+
+  void rangeAdd(std::size_t node, std::size_t lo, std::size_t hi,
+                std::size_t ql, std::size_t qr, double delta) {
+    if (qr <= lo || hi <= ql) return;
+    if (ql <= lo && hi <= qr) {
+      add_[node] += delta;
+      return;
+    }
+    const std::size_t mid = (lo + hi) / 2;
+    rangeAdd(2 * node, lo, mid, ql, qr, delta);
+    rangeAdd(2 * node + 1, mid, hi, ql, qr, delta);
+    min_[node] = std::min(min_[2 * node] + add_[2 * node],
+                          min_[2 * node + 1] + add_[2 * node + 1]);
+  }
+
+  std::size_t n_ = 0;
+  std::size_t size_ = 0;
+  std::vector<double> min_;  ///< subtree minimum, excluding this node's add
+  std::vector<double> add_;  ///< pending uniform add for the whole subtree
+};
+
+}  // namespace dsct

@@ -12,6 +12,7 @@
 #include "baselines/edf_levels.h"
 #include "baselines/edf_nocompress.h"
 #include "sched/approx.h"
+#include "sched/profile_cache.h"
 #include "sched/validator.h"
 #include "sim/renewable.h"
 #include "util/check.h"
@@ -45,10 +46,14 @@ const char* toString(IncidentKind kind) {
 
 namespace {
 
-IntegralSchedule schedule(Policy policy, const Instance& inst) {
+IntegralSchedule schedule(Policy policy, const Instance& inst,
+                          ProfileCache* crossCache) {
   switch (policy) {
-    case Policy::kApprox:
-      return solveApprox(inst).schedule;
+    case Policy::kApprox: {
+      FrOptOptions options;
+      options.sharedCache = crossCache;
+      return solveApprox(inst, options).schedule;
+    }
     case Policy::kEdfNoCompression:
       return solveEdfNoCompression(inst).schedule;
     case Policy::kEdfLevels:
@@ -106,6 +111,16 @@ ServingStats runServingImpl(
   // unguarded call exactly as before.
   const bool guarded = options.faults.enabled || options.validateEpochs ||
                        options.epochTimeLimitSeconds > 0.0;
+
+  // Cross-solve evaluation cache carried across epochs. Epochs with an
+  // identical batch on an identical machine state (idle stretches, carried
+  // backlog, fallback re-solves) reuse earlier FR-OPT evaluations instead of
+  // solving cold; any change to the epoch instance changes the fingerprint.
+  std::optional<ProfileCache> crossCache;
+  if (options.crossSolveCache && policy == Policy::kApprox) {
+    crossCache.emplace();
+  }
+  ProfileCache* crossCachePtr = crossCache ? &*crossCache : nullptr;
 
   // In-flight requests. Without backlog carry-over a request lives for one
   // epoch; with it, a request re-enters later batches with its residual
@@ -292,7 +307,7 @@ ServingStats runServingImpl(
     // fallback is rejected too the epoch serves an empty schedule rather
     // than executing an infeasible one.
     const IntegralSchedule sched = [&]() -> IntegralSchedule {
-      if (!guarded) return schedule(policy, inst);
+      if (!guarded) return schedule(policy, inst, crossCachePtr);
       const auto attempt =
           [&](Policy p, bool primary) -> std::optional<IntegralSchedule> {
         if (primary && faults.policyFailureInjected(epoch)) {
@@ -304,7 +319,7 @@ ServingStats runServingImpl(
         Stopwatch watch;
         std::optional<IntegralSchedule> s;
         try {
-          s = schedule(p, inst);
+          s = schedule(p, inst, crossCachePtr);
         } catch (const std::exception&) {
           if (primary) {
             ++stats.policyFailures;
@@ -385,6 +400,12 @@ ServingStats runServingImpl(
   }
   if (stats.served > 0) {
     stats.meanLatency = latencySum / static_cast<double>(stats.served);
+  }
+  if (crossCache) {
+    const ProfileCacheCounters& cc = crossCache->counters();
+    stats.profileCacheHits = cc.hits;
+    stats.profileCacheMisses = cc.misses;
+    stats.profileCacheInvalidations = cc.invalidations;
   }
   return stats;
 }

@@ -68,6 +68,14 @@ struct ServingOptions {
   /// when it rejects. Implied by faults.enabled; off by default to keep the
   /// default path bit-identical to the pre-fault driver.
   bool validateEpochs = false;
+  /// Carry a cross-solve ProfileCache (sched/profile_cache.h) across the
+  /// run's epochs, so FR-OPT re-solves of an already-seen (instance,
+  /// machine-state) pair reuse earlier evaluations. kApprox only; the cache
+  /// key fingerprints the whole epoch instance, so crashes (alive-machine
+  /// replans) and budget shocks can never serve stale answers. Results are
+  /// bit-identical with the cache on or off (pinned by
+  /// tests/serving_backlog_test.cpp); only the work differs.
+  bool crossSolveCache = true;
 };
 
 /// One line of the per-epoch incident log.
@@ -114,6 +122,12 @@ struct ServingStats {
   int budgetShockEpochs = 0;
   int noMachineEpochs = 0;     ///< epochs with every machine crashed
   std::vector<EpochIncident> incidents;
+
+  // Cross-solve ProfileCache traffic over the whole run (all zero when
+  // ServingOptions::crossSolveCache is off or the policy is not kApprox).
+  long long profileCacheHits = 0;
+  long long profileCacheMisses = 0;
+  long long profileCacheInvalidations = 0;
 };
 
 ServingStats runServing(const std::vector<Machine>& machines, Policy policy,

@@ -113,6 +113,60 @@ TEST(PairSearch, MovesConserveEnergyAndNeverDecreaseAccuracy) {
   }
 }
 
+TEST(PairProbeProperty, EveryProbedProfileConservesEnergyAndHeadroom) {
+  // Property test via the PairProbeHook: not just *accepted* moves — every
+  // profile the search ever evaluates (quick-screen probes, ternary-search
+  // probes, the final move profile) must conserve energy exactly and stay
+  // inside [0, horizon] on every machine. This is the invariant whose
+  // violation caused the energy-leak regression this suite pins.
+  long long probes = 0;
+  for (int c = 0; c < 3 * testing::kCorpusRegimes; ++c) {
+    const Instance inst = testing::corpusInstance(
+        deriveSeed(515151u, static_cast<std::uint64_t>(c)), c);
+    if (inst.numMachines() < 2) continue;  // no pair directions to probe
+    const ProfileEvaluator evaluator(inst);
+    const NaiveSolution naive = computeNaiveSolution(inst);
+    EnergyProfile loads = naive.schedule.machineLoads();
+    double base = evaluator.evaluate(loads);
+    const double horizon = inst.maxDeadline();
+    for (int step = 0; step < 3; ++step) {
+      const double baseEnergy = profileEnergy(inst, loads);
+      const PairProbeHook hook = [&](int from, int to, double delta,
+                                     const EnergyProfile& probe) {
+        ++probes;
+        ASSERT_GE(from, 0);
+        ASSERT_LT(from, inst.numMachines());
+        ASSERT_GE(to, 0);
+        ASSERT_LT(to, inst.numMachines());
+        EXPECT_NE(from, to);
+        EXPECT_GE(delta, 0.0);
+        // Exact conservation: the donor loses delta/P_from seconds, the
+        // recipient gains delta/P_to — the probe never clamps.
+        EXPECT_NEAR(profileEnergy(inst, probe), baseEnergy,
+                    1e-9 * std::max(1.0, baseEnergy))
+            << "case " << c << " step " << step << " dir " << from << "->"
+            << to << " delta " << delta;
+        // Recipient headroom: no probe pushes any machine past the horizon
+        // or below zero.
+        for (int r = 0; r < inst.numMachines(); ++r) {
+          EXPECT_GE(probe[static_cast<std::size_t>(r)], -1e-12)
+              << "case " << c << " machine " << r;
+          EXPECT_LE(probe[static_cast<std::size_t>(r)], horizon + 1e-12)
+              << "case " << c << " machine " << r;
+        }
+      };
+      const std::optional<PairMove> move =
+          bestPairMove(inst, evaluator, loads, base, nullptr, &hook);
+      if (!move.has_value()) break;
+      loads = move->profile;
+      base = move->accuracy;
+    }
+  }
+  // The corpus (horizon-bound regime included) must actually drive probes,
+  // or the property is vacuously true.
+  EXPECT_GT(probes, 0);
+}
+
 TEST(PairSearch, ParallelMatchesSerialBitwise) {
   const Instance inst = horizonBoundInstance();
   const ProfileEvaluator evaluator(inst);

@@ -120,6 +120,105 @@ TEST(BacklogServing, DeterministicWithSeed) {
   EXPECT_DOUBLE_EQ(a.meanAccuracy, b.meanAccuracy);
 }
 
+/// Every externally observable field of two runs must match exactly —
+/// the cross-solve ProfileCache may only change how much work a run does,
+/// never what it computes.
+void expectBitIdentical(const sim::ServingStats& a,
+                        const sim::ServingStats& b) {
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.served, b.served);
+  EXPECT_EQ(a.deadlineMisses, b.deadlineMisses);
+  EXPECT_EQ(a.meanAccuracy, b.meanAccuracy);  // bitwise, not NEAR
+  EXPECT_EQ(a.totalEnergy, b.totalEnergy);
+  EXPECT_EQ(a.meanLatency, b.meanLatency);
+  EXPECT_EQ(a.epochs, b.epochs);
+  EXPECT_EQ(a.interruptions, b.interruptions);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.abandoned, b.abandoned);
+  EXPECT_EQ(a.shed, b.shed);
+  EXPECT_EQ(a.fallbacks, b.fallbacks);
+  EXPECT_EQ(a.policyFailures, b.policyFailures);
+  EXPECT_EQ(a.validatorRejections, b.validatorRejections);
+  EXPECT_EQ(a.budgetShockEpochs, b.budgetShockEpochs);
+  EXPECT_EQ(a.noMachineEpochs, b.noMachineEpochs);
+  EXPECT_EQ(a.incidents, b.incidents);
+}
+
+TEST(CrossEpochCache, BitIdenticalWithAndWithoutCache) {
+  // Cache-enabled serving must reproduce cache-disabled serving bit for bit;
+  // only the ProfileCache traffic counters may differ. Backlog carry-over is
+  // on so consecutive epochs actually resemble each other — the regime the
+  // cache exists for.
+  const auto machines = machinesFromCatalog({"T4", "V100"});
+  sim::ServingOptions options;
+  options.arrivalRatePerSecond = 15.0;
+  options.horizonSeconds = 4.0;
+  options.epochSeconds = 0.5;
+  options.relDeadlineLo = 1.0;
+  options.relDeadlineHi = 3.0;
+  options.energyBudgetPerEpoch = 25.0;
+  options.seed = 41;
+  options.carryBacklog = true;
+  options.crossSolveCache = true;
+  const auto cached = sim::runServing(machines, sim::Policy::kApprox, options);
+  options.crossSolveCache = false;
+  const auto fresh = sim::runServing(machines, sim::Policy::kApprox, options);
+  expectBitIdentical(cached, fresh);
+  // The cache must actually be in play on the enabled run and absent on the
+  // disabled one.
+  EXPECT_GT(cached.profileCacheMisses, 0);
+  EXPECT_EQ(fresh.profileCacheHits, 0);
+  EXPECT_EQ(fresh.profileCacheMisses, 0);
+  EXPECT_EQ(fresh.profileCacheInvalidations, 0);
+}
+
+TEST(CrossEpochCache, BitIdenticalUnderFaultTraces) {
+  // Crashes change the alive-machine set, budget shocks change the epoch
+  // budget — both alter the instance fingerprint, so the cache must never
+  // serve a stale answer across them. Mirrors the fault mix pinned by
+  // serving_faults_test.
+  const auto machines = machinesFromCatalog({"T4", "V100", "P100"});
+  sim::ServingOptions options;
+  options.arrivalRatePerSecond = 12.0;
+  options.horizonSeconds = 5.0;
+  options.epochSeconds = 0.5;
+  options.relDeadlineLo = 0.5;
+  options.relDeadlineHi = 2.5;
+  options.energyBudgetPerEpoch = 40.0;
+  options.seed = 43;
+  options.carryBacklog = true;
+  options.faults.enabled = true;
+  options.faults.seed = 99;
+  options.faults.mtbfSeconds = 2.0;
+  options.faults.mttrSeconds = 1.0;
+  options.faults.budgetShockProbability = 0.5;
+  options.faults.budgetShockFactor = 0.3;
+  options.faults.maxRetries = 2;
+  options.faults.injectPolicyFailureEpochs = {3};
+  options.crossSolveCache = true;
+  const auto cached = sim::runServing(machines, sim::Policy::kApprox, options);
+  options.crossSolveCache = false;
+  const auto fresh = sim::runServing(machines, sim::Policy::kApprox, options);
+  expectBitIdentical(cached, fresh);
+  EXPECT_GT(cached.profileCacheMisses, 0);
+  EXPECT_EQ(fresh.profileCacheMisses, 0);
+}
+
+TEST(CrossEpochCache, CountersZeroForNonApproxPolicies) {
+  // The cache rides the FR-OPT evaluator; EDF policies never touch it even
+  // with the option left on.
+  const auto machines = machinesFromCatalog({"T4"});
+  sim::ServingOptions options;
+  options.horizonSeconds = 2.0;
+  options.seed = 47;
+  options.crossSolveCache = true;
+  const auto stats =
+      sim::runServing(machines, sim::Policy::kEdfLevels, options);
+  EXPECT_EQ(stats.profileCacheHits, 0);
+  EXPECT_EQ(stats.profileCacheMisses, 0);
+  EXPECT_EQ(stats.profileCacheInvalidations, 0);
+}
+
 TEST(BacklogServing, WorksWithRenewableSupply) {
   const auto machines = machinesFromCatalog({"T4"});
   sim::ServingOptions options;
