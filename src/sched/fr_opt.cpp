@@ -274,7 +274,8 @@ FrOptResult solveFrOpt(const Instance& inst, const FrOptOptions& options) {
           probeMachine.push_back(~r);
         }
       }
-      const std::vector<double> probeValues = evaluator.batch(probes, pool);
+      const std::vector<double> probeValues =
+          evaluator.evaluateBatch(probes, pool, options.parallelCachedEval);
       std::vector<double> gainUp(static_cast<std::size_t>(m), 0.0);
       std::vector<double> lossDown(static_cast<std::size_t>(m), 0.0);
       for (std::size_t i = 0; i < probes.size(); ++i) {
@@ -366,7 +367,9 @@ FrOptResult solveFrOpt(const Instance& inst, const FrOptOptions& options) {
         const EnergyProfile loads = result.schedule.machineLoads();
         const std::vector<EnergyProfile> candidates =
             expansionCandidates(inst, loads, leftover);
-        const std::vector<double> values = evaluator.batch(candidates, pool);
+        const std::vector<double> values =
+            evaluator.evaluateBatch(candidates, pool,
+                                    options.parallelCachedEval);
         // Adopting only the argmax (first on ties) matches the sequential
         // adopt-each-improving-candidate chain: the chain's final incumbent
         // is exactly the first maximal improving candidate.
@@ -440,6 +443,10 @@ FrOptResult solveFrOpt(const Instance& inst, const FrOptOptions& options) {
     result.counters.crossMisses = crossAfter.misses - crossBefore.misses;
     result.counters.crossInvalidations =
         crossAfter.invalidations - crossBefore.invalidations;
+    result.counters.crossContended =
+        crossAfter.contended - crossBefore.contended;
+    result.counters.crossShards =
+        static_cast<long long>(options.sharedCache->shardCount());
   }
   result.counters.totalSeconds = totalWatch.elapsedSeconds();
   return result;

@@ -46,6 +46,8 @@ struct FrOptCounters {
   long long crossHits = 0;
   long long crossMisses = 0;
   long long crossInvalidations = 0;
+  long long crossContended = 0;  ///< shard-mutex contention events
+  long long crossShards = 0;     ///< shard count of the attached cache
 };
 
 struct FrOptOptions {
@@ -63,6 +65,13 @@ struct FrOptOptions {
   /// fresh evaluations — it only skips repeated work across solves. The
   /// serving loop passes one cache across all of a run's epochs.
   ProfileCache* sharedCache = nullptr;
+  /// With both a pool and `sharedCache` set, batch evaluations look the
+  /// shared cache up from the worker threads (the cache is sharded and
+  /// thread-safe) and stage misses per index; new entries are committed
+  /// single-threaded in index order. Schedules, objectives, and cache
+  /// contents stay bit-identical to the serial path
+  /// (tests/sched_concurrent_cache_test.cpp).
+  bool parallelCachedEval = false;
 };
 
 struct FrOptResult {

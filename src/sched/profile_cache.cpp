@@ -1,5 +1,6 @@
 #include "sched/profile_cache.h"
 
+#include <algorithm>
 #include <bit>
 
 namespace dsct {
@@ -16,6 +17,12 @@ inline void mix(std::uint64_t& h, std::uint64_t v) {
 
 inline void mix(std::uint64_t& h, double v) {
   mix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+std::size_t roundUpPow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
 }
 
 }  // namespace
@@ -41,8 +48,11 @@ std::uint64_t instanceFingerprint(const Instance& inst) {
   return h;
 }
 
-ProfileCache::ProfileCache(std::size_t maxEntries)
-    : maxEntries_(std::max<std::size_t>(1, maxEntries)) {}
+ProfileCache::ProfileCache(std::size_t maxEntries, std::size_t shards)
+    : shards_(roundUpPow2(std::max<std::size_t>(1, shards))) {
+  shardMask_ = shards_.size() - 1;
+  maxPerShard_ = std::max<std::size_t>(1, maxEntries / shards_.size());
+}
 
 std::size_t ProfileCache::KeyHash::operator()(const Key& key) const {
   std::uint64_t h = kFnvOffset;
@@ -62,24 +72,80 @@ ProfileCache::Key ProfileCache::keyOf(std::uint64_t fingerprint,
   return key;
 }
 
+ProfileCache::Shard& ProfileCache::shardFor(const Key& key) {
+  // High bits of the same FNV hash the map buckets on: decorrelated from the
+  // bucket index, and all profile coordinates contribute to the choice.
+  const std::uint64_t h = static_cast<std::uint64_t>(KeyHash{}(key));
+  return shards_[static_cast<std::size_t>(h >> 32) & shardMask_];
+}
+
 std::optional<double> ProfileCache::lookup(std::uint64_t fingerprint,
                                            const EnergyProfile& profile) {
-  const auto it = entries_.find(keyOf(fingerprint, profile));
-  if (it == entries_.end()) {
-    ++counters_.misses;
+  const Key key = keyOf(fingerprint, profile);
+  Shard& shard = shardFor(key);
+  const bool contended = !shard.mutex.try_lock();
+  if (contended) shard.mutex.lock();
+  std::lock_guard<std::mutex> lock(shard.mutex, std::adopt_lock);
+  if (contended) ++shard.counters.contended;
+  const auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    ++shard.counters.misses;
     return std::nullopt;
   }
-  ++counters_.hits;
+  ++shard.counters.hits;
   return it->second;
 }
 
 void ProfileCache::store(std::uint64_t fingerprint,
                          const EnergyProfile& profile, double value) {
-  if (entries_.size() >= maxEntries_) {
-    counters_.invalidations += static_cast<long long>(entries_.size());
-    entries_.clear();
+  Key key = keyOf(fingerprint, profile);
+  Shard& shard = shardFor(key);
+  const bool contended = !shard.mutex.try_lock();
+  if (contended) shard.mutex.lock();
+  std::lock_guard<std::mutex> lock(shard.mutex, std::adopt_lock);
+  if (contended) ++shard.counters.contended;
+  if (shard.entries.size() >= maxPerShard_) {
+    shard.counters.invalidations +=
+        static_cast<long long>(shard.entries.size());
+    shard.entries.clear();
   }
-  entries_.emplace(keyOf(fingerprint, profile), value);
+  shard.entries.emplace(std::move(key), value);
+}
+
+std::size_t ProfileCache::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.entries.size();
+  }
+  return total;
+}
+
+ProfileCacheCounters ProfileCache::counters() const {
+  ProfileCacheCounters total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total.hits += shard.counters.hits;
+    total.misses += shard.counters.misses;
+    total.invalidations += shard.counters.invalidations;
+    total.contended += shard.counters.contended;
+  }
+  return total;
+}
+
+std::uint64_t ProfileCache::contentDigest() const {
+  // Wrapping sum of per-entry hashes: independent of shard layout and of
+  // iteration order, so any two caches with the same entry set agree.
+  std::uint64_t digest = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [key, value] : shard.entries) {
+      std::uint64_t h = static_cast<std::uint64_t>(KeyHash{}(key));
+      mix(h, value);
+      digest += h;
+    }
+  }
+  return digest;
 }
 
 }  // namespace dsct

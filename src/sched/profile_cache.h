@@ -16,9 +16,19 @@
 // what a fresh evaluation of that profile would compute, which is what makes
 // cache-enabled serving runs bit-identical to cache-disabled runs
 // (tests/serving_backlog_test.cpp pins this, faults included).
+//
+// Concurrency: the cache is sharded — a fixed power-of-two number of shards,
+// each a (mutex, hash map, counters) triple, with the FNV hash of the key
+// selecting the shard — so lookups and stores are safe from any thread.
+// Worker threads of the evaluator's parallel batch mode read it
+// concurrently; writes are funnelled through the evaluator's single-threaded
+// commit phase in index order, which is what keeps cache contents
+// bit-identical to a serial run (DESIGN.md §12,
+// tests/sched_concurrent_cache_test.cpp).
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -35,26 +45,43 @@ std::uint64_t instanceFingerprint(const Instance& inst);
 struct ProfileCacheCounters {
   long long hits = 0;
   long long misses = 0;          ///< lookups that found nothing
-  long long invalidations = 0;   ///< entries dropped by the capacity sweep
+  long long invalidations = 0;   ///< entries dropped by per-shard sweeps
+  long long contended = 0;       ///< lookups/stores that found the shard
+                                 ///< mutex held by another thread
 };
 
 class ProfileCache {
  public:
-  /// `maxEntries` bounds memory across a long serving run; exceeding it
-  /// clears the cache (counted as invalidations) rather than tracking LRU
-  /// order — re-solves cluster in time, so a full sweep rarely hurts.
-  explicit ProfileCache(std::size_t maxEntries = 1 << 20);
+  static constexpr std::size_t kDefaultShards = 16;
+
+  /// `maxEntries` bounds memory across a long serving run, split evenly over
+  /// the shards; a shard exceeding its slice clears itself (counted as
+  /// invalidations) rather than tracking LRU order — re-solves cluster in
+  /// time, so a full sweep rarely hurts. `shards` is rounded up to a power
+  /// of two.
+  explicit ProfileCache(std::size_t maxEntries = 1 << 20,
+                        std::size_t shards = kDefaultShards);
 
   ProfileCache(const ProfileCache&) = delete;
   ProfileCache& operator=(const ProfileCache&) = delete;
 
+  /// Thread-safe (locks only the owning shard).
   std::optional<double> lookup(std::uint64_t fingerprint,
                                const EnergyProfile& profile);
+  /// Thread-safe. Never overwrites: the first value stored for a key wins
+  /// (values are pure functions of the key, so later stores are identical).
   void store(std::uint64_t fingerprint, const EnergyProfile& profile,
              double value);
 
-  std::size_t size() const { return entries_.size(); }
-  const ProfileCacheCounters& counters() const { return counters_; }
+  std::size_t size() const;
+  std::size_t shardCount() const { return shards_.size(); }
+  /// Aggregated snapshot over all shards.
+  ProfileCacheCounters counters() const;
+  /// Order-independent FNV digest over every (key, value) entry, exact bits.
+  /// Two caches hold identical contents iff their sizes and digests match
+  /// (up to hash collision); the concurrency differential harness compares
+  /// serial and parallel runs through it.
+  std::uint64_t contentDigest() const;
 
  private:
   struct Key {
@@ -66,12 +93,18 @@ class ProfileCache {
   struct KeyHash {
     std::size_t operator()(const Key& key) const;
   };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<Key, double, KeyHash> entries;
+    ProfileCacheCounters counters;  ///< guarded by `mutex`
+  };
 
   static Key keyOf(std::uint64_t fingerprint, const EnergyProfile& profile);
+  Shard& shardFor(const Key& key);
 
-  std::unordered_map<Key, double, KeyHash> entries_;
-  std::size_t maxEntries_;
-  ProfileCacheCounters counters_;
+  std::vector<Shard> shards_;
+  std::size_t shardMask_ = 0;
+  std::size_t maxPerShard_ = 0;
 };
 
 }  // namespace dsct

@@ -80,18 +80,14 @@ double ProfileEvaluator::cached(const EnergyProfile& profile) {
   return value;
 }
 
-std::vector<double> ProfileEvaluator::batch(
-    std::span<const EnergyProfile> profiles, ThreadPool* pool) {
+std::vector<double> ProfileEvaluator::evaluateBatch(
+    std::span<const EnergyProfile> profiles, ThreadPool* pool,
+    bool parallelCachedEval) {
   std::vector<double> out(profiles.size(), 0.0);
-  // Local-memo misses, in index order. Shared-cache hits resolve their value
-  // immediately but join the same deferred memoisation pass as computed
-  // misses: memoising them inline would let an intra-batch quantised-key
-  // collision serve a shared value where the cache-less run computes its
-  // own, breaking the "attaching a cache never changes results" contract.
+  // Local-memo pass on the coordinating thread, in index order. Misses stay
+  // pending; their memo inserts are deferred to the commit phase (see there).
   std::vector<std::size_t> pending;
   std::vector<CacheKey> pendingKeys;
-  std::vector<char> resolved;  ///< 1 = out[i] already holds a shared hit
-  std::vector<std::size_t> toCompute;
   for (std::size_t i = 0; i < profiles.size(); ++i) {
     CacheKey key = keyOf(profiles[i]);
     const auto it = cache_.find(key);
@@ -100,40 +96,73 @@ std::vector<double> ProfileEvaluator::batch(
       out[i] = it->second;
       continue;
     }
-    bool fromShared = false;
-    if (shared_ != nullptr) {
-      if (const std::optional<double> hit =
-              shared_->lookup(fingerprint_, profiles[i])) {
-        out[i] = *hit;
-        fromShared = true;
-      }
-    }
-    if (!fromShared) toCompute.push_back(i);
     pending.push_back(i);
     pendingKeys.push_back(std::move(key));
-    resolved.push_back(fromShared ? 1 : 0);
   }
-  std::vector<double> values;
-  if (pool != nullptr && toCompute.size() > 1) {
-    values = pool->parallelMap(toCompute.size(), [&](std::size_t k) {
-      return evaluate(profiles[toCompute[k]]);
+
+  // Resolve the pending indices into per-index staging slots. Neither branch
+  // writes a cache here: workers only *read* the sharded shared cache and
+  // compute, so the interleaving of threads cannot influence what any index
+  // resolves to.
+  struct Staged {
+    double value = 0.0;
+    bool fromShared = false;
+  };
+  std::vector<Staged> staged;
+  const bool pooled = pool != nullptr && pending.size() > 1;
+  if (pooled && parallelCachedEval && shared_ != nullptr) {
+    // Parallel cached mode: shared-cache lookups happen on the workers.
+    staged = pool->parallelMap(pending.size(), [&](std::size_t k) -> Staged {
+      const EnergyProfile& profile = profiles[pending[k]];
+      if (const std::optional<double> hit =
+              shared_->lookup(fingerprint_, profile)) {
+        return {*hit, true};
+      }
+      return {evaluate(profile), false};
     });
   } else {
-    values.reserve(toCompute.size());
-    for (std::size_t k = 0; k < toCompute.size(); ++k) {
-      values.push_back(evaluate(profiles[toCompute[k]]));
+    // Serial shared lookups on the coordinating thread; the remaining pure
+    // evaluations may still fan across the pool.
+    staged.resize(pending.size());
+    std::vector<std::size_t> toCompute;
+    for (std::size_t k = 0; k < pending.size(); ++k) {
+      if (shared_ != nullptr) {
+        if (const std::optional<double> hit =
+                shared_->lookup(fingerprint_, profiles[pending[k]])) {
+          staged[k] = {*hit, true};
+          continue;
+        }
+      }
+      toCompute.push_back(k);
+    }
+    std::vector<double> values;
+    if (pooled && toCompute.size() > 1) {
+      values = pool->parallelMap(toCompute.size(), [&](std::size_t idx) {
+        return evaluate(profiles[pending[toCompute[idx]]]);
+      });
+    } else {
+      values.reserve(toCompute.size());
+      for (std::size_t idx = 0; idx < toCompute.size(); ++idx) {
+        values.push_back(evaluate(profiles[pending[toCompute[idx]]]));
+      }
+    }
+    for (std::size_t idx = 0; idx < toCompute.size(); ++idx) {
+      staged[toCompute[idx]] = {values[idx], false};
     }
   }
-  std::size_t computed = 0;
+
+  // Commit phase: single-threaded, in index order — the only place either
+  // cache is written, so cache contents are identical across all modes.
+  // Shared-cache hits join the same deferred memoisation as computed misses:
+  // memoising them inline would let an intra-batch quantised-key collision
+  // serve a shared value where the cache-less run computes its own, breaking
+  // the "attaching a cache never changes results" contract.
   for (std::size_t k = 0; k < pending.size(); ++k) {
-    if (!resolved[k]) {
-      out[pending[k]] = values[computed];
-      if (shared_ != nullptr) {
-        shared_->store(fingerprint_, profiles[pending[k]], values[computed]);
-      }
-      ++computed;
+    out[pending[k]] = staged[k].value;
+    if (!staged[k].fromShared && shared_ != nullptr) {
+      shared_->store(fingerprint_, profiles[pending[k]], staged[k].value);
     }
-    cache_.emplace(std::move(pendingKeys[k]), out[pending[k]]);
+    cache_.emplace(std::move(pendingKeys[k]), staged[k].value);
   }
   return out;
 }

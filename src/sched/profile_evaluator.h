@@ -10,8 +10,10 @@
 // Algorithm 1 → accuracy, no schedule matrix), memoises answers keyed on
 // the quantised profile vector, and exposes counters so benchmarks can see
 // where the work goes. Batch evaluation optionally fans misses across a
-// ThreadPool; the serial path computes bit-identical values, so results are
-// deterministic in both modes.
+// ThreadPool — and, in the parallel cached mode, reads the sharded
+// cross-solve cache from the workers; every mode computes bit-identical
+// values and commits cache writes single-threaded in index order, so results
+// and cache contents are deterministic regardless of interleaving.
 #pragma once
 
 #include <atomic>
@@ -43,8 +45,10 @@ class ProfileEvaluator {
   /// `shared` (optional, borrowed) is a cross-solve ProfileCache consulted
   /// on local-memo misses and fed every newly computed answer. Shared hits
   /// are bit-identical to fresh evaluations (exact-bit keys; see
-  /// profile_cache.h), so attaching a cache never changes results. Lookups
-  /// and stores happen on the coordinating thread only.
+  /// profile_cache.h), so attaching a cache never changes results. Stores
+  /// happen on the coordinating thread only; lookups run there too unless
+  /// evaluateBatch's parallel cached mode is requested (the cache is sharded
+  /// and thread-safe, so workers may read it concurrently).
   explicit ProfileEvaluator(const Instance& inst,
                             ProfileCache* shared = nullptr);
 
@@ -58,15 +62,22 @@ class ProfileEvaluator {
   double evaluate(const EnergyProfile& profile) const;
 
   /// Memoised evaluate(). Not thread-safe — call from the coordinating
-  /// thread only; worker threads use evaluate() or batch().
+  /// thread only; worker threads use evaluate() or evaluateBatch().
   double cached(const EnergyProfile& profile);
 
   /// Evaluate many profiles, serving memoised answers and computing the
-  /// misses — in index order serially, or via `pool` when given. Both paths
-  /// produce identical results (each evaluation is a pure function of its
-  /// profile); new answers are memoised afterwards in index order.
-  std::vector<double> batch(std::span<const EnergyProfile> profiles,
-                            ThreadPool* pool);
+  /// misses — in index order serially, or via `pool` when given. With
+  /// `parallelCachedEval` set (and a pool and a shared cache attached), the
+  /// workers additionally look the sharded shared cache up concurrently and
+  /// stage their results per index; a single-threaded commit phase then
+  /// inserts new answers into both caches in index order. All modes produce
+  /// bit-identical values *and* bit-identical cache contents — evaluations
+  /// are pure functions of their profile, lookups never mutate, and every
+  /// write happens in the index-ordered commit phase regardless of how the
+  /// workers interleave (tests/sched_concurrent_cache_test.cpp).
+  std::vector<double> evaluateBatch(std::span<const EnergyProfile> profiles,
+                                    ThreadPool* pool,
+                                    bool parallelCachedEval = false);
 
   /// Full optimal schedule for `profile` (Algorithm 2's core), reusing the
   /// pre-sorted segment list. Thread-safe.

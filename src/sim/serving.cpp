@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -17,6 +18,7 @@
 #include "sim/renewable.h"
 #include "util/check.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace dsct::sim {
@@ -47,11 +49,14 @@ const char* toString(IncidentKind kind) {
 namespace {
 
 IntegralSchedule schedule(Policy policy, const Instance& inst,
-                          ProfileCache* crossCache) {
+                          ProfileCache* crossCache, ThreadPool* pool,
+                          bool parallelCachedEval) {
   switch (policy) {
     case Policy::kApprox: {
       FrOptOptions options;
       options.sharedCache = crossCache;
+      options.pool = pool;
+      options.parallelCachedEval = parallelCachedEval;
       return solveApprox(inst, options).schedule;
     }
     case Policy::kEdfNoCompression:
@@ -121,6 +126,18 @@ ServingStats runServingImpl(
     crossCache.emplace();
   }
   ProfileCache* crossCachePtr = crossCache ? &*crossCache : nullptr;
+  // Worker pool for the parallel cached evaluation path, carried across the
+  // run's epochs like the cache. Results are bit-identical with or without
+  // it — the pool only changes where the work runs.
+  std::unique_ptr<ThreadPool> solverPool;
+  if (options.parallelCachedEval && policy == Policy::kApprox) {
+    solverPool = std::make_unique<ThreadPool>(options.solverThreads);
+  }
+  ThreadPool* solverPoolPtr = solverPool.get();
+  const auto scheduleEpoch = [&](Policy p, const Instance& inst) {
+    return schedule(p, inst, crossCachePtr, solverPoolPtr,
+                    options.parallelCachedEval);
+  };
 
   // In-flight requests. Without backlog carry-over a request lives for one
   // epoch; with it, a request re-enters later batches with its residual
@@ -307,7 +324,7 @@ ServingStats runServingImpl(
     // fallback is rejected too the epoch serves an empty schedule rather
     // than executing an infeasible one.
     const IntegralSchedule sched = [&]() -> IntegralSchedule {
-      if (!guarded) return schedule(policy, inst, crossCachePtr);
+      if (!guarded) return scheduleEpoch(policy, inst);
       const auto attempt =
           [&](Policy p, bool primary) -> std::optional<IntegralSchedule> {
         if (primary && faults.policyFailureInjected(epoch)) {
@@ -319,7 +336,7 @@ ServingStats runServingImpl(
         Stopwatch watch;
         std::optional<IntegralSchedule> s;
         try {
-          s = schedule(p, inst, crossCachePtr);
+          s = scheduleEpoch(p, inst);
         } catch (const std::exception&) {
           if (primary) {
             ++stats.policyFailures;
@@ -402,10 +419,12 @@ ServingStats runServingImpl(
     stats.meanLatency = latencySum / static_cast<double>(stats.served);
   }
   if (crossCache) {
-    const ProfileCacheCounters& cc = crossCache->counters();
+    const ProfileCacheCounters cc = crossCache->counters();
     stats.profileCacheHits = cc.hits;
     stats.profileCacheMisses = cc.misses;
     stats.profileCacheInvalidations = cc.invalidations;
+    stats.profileCacheContended = cc.contended;
+    stats.profileCacheShards = static_cast<long long>(crossCache->shardCount());
   }
   return stats;
 }

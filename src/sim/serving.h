@@ -7,6 +7,7 @@
 // "cloud inference service" substrate motivating the paper's problem.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -76,6 +77,14 @@ struct ServingOptions {
   /// bit-identical with the cache on or off (pinned by
   /// tests/serving_backlog_test.cpp); only the work differs.
   bool crossSolveCache = true;
+  /// Run FR-OPT's batch evaluations on a worker pool whose workers read the
+  /// sharded cross-solve cache concurrently; writes stay single-threaded and
+  /// index-ordered inside the evaluator's commit phase, so serving results
+  /// are bit-identical with this flag on or off (pinned by
+  /// tests/serving_backlog_test.cpp). kApprox only.
+  bool parallelCachedEval = false;
+  /// Worker threads for parallelCachedEval; 0 means hardware concurrency.
+  std::size_t solverThreads = 0;
 };
 
 /// One line of the per-epoch incident log.
@@ -128,6 +137,8 @@ struct ServingStats {
   long long profileCacheHits = 0;
   long long profileCacheMisses = 0;
   long long profileCacheInvalidations = 0;
+  long long profileCacheContended = 0;  ///< shard-mutex contention events
+  long long profileCacheShards = 0;     ///< shard count of the run's cache
 };
 
 ServingStats runServing(const std::vector<Machine>& machines, Policy policy,

@@ -1,15 +1,27 @@
-// Fixed-size thread pool used to parallelise experiment replications.
+// Fixed-size thread pool used to parallelise experiment replications and
+// the profile-evaluation fan-outs.
 //
 // Design notes (Core Guidelines CP.*): tasks are plain std::function<void()>
-// values moved into a mutex-protected queue; no shared mutable state escapes
-// to callers, and parallelMap derives independent outputs per index so callers
-// never need their own synchronisation.
+// values moved into a mutex-protected, *bounded* queue; no shared mutable
+// state escapes to callers, and parallelMap derives independent outputs per
+// index so callers never need their own synchronisation.
+//
+// Group waits (parallelFor / parallelMap) are counter-based and
+// exception-safe: every task decrements the group counter even when it
+// throws, the throwing task's exception is captured into a
+// std::exception_ptr (the lowest-index one wins, deterministically), and the
+// waiter rethrows only after *all* tasks of the group have finished. A
+// throwing task therefore can neither hang the waiter on the counter nor
+// let still-running siblings outlive the caller's stack frame (they may
+// reference it by capture).
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -22,26 +34,29 @@ namespace dsct {
 class ThreadPool {
  public:
   /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
-  explicit ThreadPool(std::size_t threads = 0);
+  /// `queueCapacity` bounds the pending-task queue (0 picks a default of
+  /// max(256, 16 × threads)). A full queue applies backpressure: non-worker
+  /// submitters block until a slot frees, while worker-submitted tasks run
+  /// inline — a worker blocked on queue space is exactly the thread the
+  /// queue needs to drain, so blocking it would deadlock the pool.
+  explicit ThreadPool(std::size_t threads = 0, std::size_t queueCapacity = 0);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   std::size_t threadCount() const { return workers_.size(); }
+  std::size_t queueCapacity() const { return capacity_; }
 
-  /// Enqueue a task; returns a future for its result.
+  /// Enqueue a task; returns a future for its result (exceptions travel
+  /// through the future). Blocks while the queue is full (runs the task
+  /// inline instead when called from one of this pool's own workers).
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      DSCT_CHECK_MSG(!stopping_, "submit on stopped ThreadPool");
-      queue_.emplace([task] { (*task)(); });
-    }
-    cv_.notify_one();
+    enqueue([task] { (*task)(); });
     return fut;
   }
 
@@ -50,26 +65,69 @@ class ThreadPool {
   /// the one the queue needs), so re-entrant helpers must run inline instead.
   bool insideWorker() const { return currentPool() == this; }
 
-  /// Apply fn(i) for i in [0, n) in parallel; returns results in index order.
-  /// fn must be callable concurrently from multiple threads. Safe to call
-  /// from inside one of this pool's own workers: the work then runs inline
-  /// on the calling thread instead of deadlocking on the occupied queue.
+  /// Run fn(i) for i in [0, n) on the pool and wait for every index to
+  /// finish. fn must be callable concurrently from multiple threads. Safe to
+  /// call from inside one of this pool's own workers (runs inline). If one
+  /// or more tasks throw, the wait still completes — every task runs exactly
+  /// once — and the exception thrown by the lowest index is rethrown to the
+  /// caller afterwards.
+  template <typename Fn>
+  void parallelFor(std::size_t n, Fn fn) {
+    if (n == 0) return;
+    if (insideWorker()) {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    struct Group {
+      std::mutex mutex;
+      std::condition_variable done;
+      std::size_t remaining;
+      std::size_t errorIndex;
+      std::exception_ptr error;
+    };
+    auto group = std::make_shared<Group>();
+    group->remaining = n;
+    group->errorIndex = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      enqueue([group, fn, i] {
+        std::exception_ptr err;
+        try {
+          fn(i);
+        } catch (...) {
+          err = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lock(group->mutex);
+        if (err != nullptr && i < group->errorIndex) {
+          group->errorIndex = i;
+          group->error = err;
+        }
+        if (--group->remaining == 0) group->done.notify_all();
+      });
+    }
+    std::exception_ptr error;
+    {
+      std::unique_lock<std::mutex> lock(group->mutex);
+      group->done.wait(lock, [&group] { return group->remaining == 0; });
+      // Take ownership out of the group: the last worker may still be
+      // releasing its Group reference after the notify, and the waiter —
+      // not a worker — must perform the exception object's final release
+      // (the caller reads it after rethrow).
+      error = std::move(group->error);
+    }
+    if (error != nullptr) std::rethrow_exception(error);
+  }
+
+  /// Apply fn(i) for i in [0, n) in parallel; returns results in index
+  /// order. Built on parallelFor, so it shares its re-entrancy and
+  /// exception-propagation contract. The result type must be
+  /// default-constructible (slots are preallocated so workers never share a
+  /// growing container).
   template <typename Fn>
   auto parallelMap(std::size_t n, Fn fn)
       -> std::vector<std::invoke_result_t<Fn, std::size_t>> {
     using R = std::invoke_result_t<Fn, std::size_t>;
-    std::vector<R> out;
-    out.reserve(n);
-    if (insideWorker()) {
-      for (std::size_t i = 0; i < n; ++i) out.push_back(fn(i));
-      return out;
-    }
-    std::vector<std::future<R>> futures;
-    futures.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      futures.push_back(submit([fn, i] { return fn(i); }));
-    }
-    for (auto& f : futures) out.push_back(f.get());
+    std::vector<R> out(n);
+    parallelFor(n, [&out, &fn](std::size_t i) { out[i] = fn(i); });
     return out;
   }
 
@@ -78,12 +136,17 @@ class ThreadPool {
   /// (thread-local; defined in thread_pool.cpp).
   static const ThreadPool*& currentPool();
 
+  /// Bounded blocking push (inline execution from workers on a full queue).
+  void enqueue(std::function<void()> task);
+
   void workerLoop();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
+  std::size_t capacity_ = 0;
   std::mutex mutex_;
-  std::condition_variable cv_;
+  std::condition_variable cv_;       ///< queue became non-empty / stopping
+  std::condition_variable spaceCv_;  ///< queue gained a free slot
   bool stopping_ = false;
 };
 

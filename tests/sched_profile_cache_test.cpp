@@ -1,0 +1,187 @@
+// Property tests for the cross-solve ProfileCache (sched/profile_cache.h):
+// FNV instance-fingerprint sensitivity (collision smoke over a large seeded
+// corpus; single-field perturbations down to one ulp), the evaluator's
+// deferred-insert batch semantics under intra-batch duplicate quantised
+// keys, and the sharding layer (power-of-two rounding, first-store-wins,
+// per-shard capacity sweeps, layout-independent content digests).
+#include <cmath>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sched/profile_cache.h"
+#include "sched/profile_evaluator.h"
+#include "tests/test_support.h"
+#include "util/rng.h"
+
+namespace dsct {
+namespace {
+
+TEST(ProfileCacheKeying, FingerprintCollisionSmokeOverSeededCorpus) {
+  // 10k distinct corpus instances (all five regimes, many sizes and seeds):
+  // every fingerprint must be unique. A collision would let one instance
+  // serve another's evaluations — silently wrong schedules.
+  std::unordered_set<std::uint64_t> seen;
+  constexpr int kCount = 10000;
+  seen.reserve(kCount);
+  for (int i = 0; i < kCount; ++i) {
+    const Instance inst = testing::corpusInstance(
+        static_cast<std::uint64_t>(1 + i / 50), i % 50);
+    seen.insert(instanceFingerprint(inst));
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kCount));
+}
+
+TEST(ProfileCacheKeying, SingleFieldPerturbationsChangeTheFingerprint) {
+  // Instance pairs differing in exactly one field — budget, one machine's
+  // speed or efficiency, one task's deadline — must produce distinct
+  // fingerprints even when the difference is a single ulp: the fingerprint
+  // hashes exact bit patterns, no tolerance.
+  Rng rng(555);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Instance base = testing::corpusInstance(
+        static_cast<std::uint64_t>(900 + trial), trial % 25);
+    const std::uint64_t fp = instanceFingerprint(base);
+    std::vector<Task> tasks = base.tasks();
+    std::vector<Machine> machines = base.machines();
+    double budget = base.energyBudget();
+    const auto bumped = [](double v) {
+      return std::nextafter(v, v + 1.0);
+    };
+    switch (trial % 4) {
+      case 0:
+        budget = bumped(budget);
+        break;
+      case 1: {
+        Machine& m = machines[static_cast<std::size_t>(
+            rng.uniformInt(0, base.numMachines() - 1))];
+        m.speed = bumped(m.speed);
+        break;
+      }
+      case 2: {
+        Machine& m = machines[static_cast<std::size_t>(
+            rng.uniformInt(0, base.numMachines() - 1))];
+        m.efficiency = bumped(m.efficiency);
+        break;
+      }
+      default: {
+        Task& t = tasks[static_cast<std::size_t>(
+            rng.uniformInt(0, base.numTasks() - 1))];
+        t.deadline = bumped(t.deadline);
+        break;
+      }
+    }
+    const Instance perturbed(std::move(tasks), std::move(machines), budget);
+    EXPECT_NE(instanceFingerprint(perturbed), fp) << "trial " << trial;
+  }
+}
+
+TEST(ProfileCacheKeying, AccuracyCurvePerturbationChangesTheFingerprint) {
+  // Two instances identical except for one accuracy-curve breakpoint value.
+  const auto build = [](double topAccuracy) {
+    std::vector<Task> tasks{
+        Task{1.0, PiecewiseLinearAccuracy::fromPoints({0.0, 1.0, 2.0},
+                                                      {0.0, 0.6, topAccuracy}),
+             "t0"}};
+    std::vector<Machine> machines{Machine{1.0, 0.05, "m0"}};
+    return Instance(std::move(tasks), std::move(machines), 100.0);
+  };
+  const Instance a = build(0.8);
+  const Instance b = build(std::nextafter(0.8, 1.0));
+  EXPECT_NE(instanceFingerprint(a), instanceFingerprint(b));
+}
+
+TEST(ProfileCacheKeying, BatchDeferredInsertsMatchCachelessRunOnDuplicateKeys) {
+  // Two profiles one ulp apart share a quantised local-memo key but have
+  // distinct exact-bit shared-cache keys. With p1 pre-warmed in the shared
+  // cache, a batch over {p1, p2} must serve p1 from the cache yet still
+  // compute p2 fresh — the memo insert for p1 is deferred past p2's lookup —
+  // so the output matches the cache-less run bit for bit.
+  const Instance inst = testing::tinyInstance(50.0);
+  const EnergyProfile p1{0.7, 0.4};
+  EnergyProfile p2 = p1;
+  p2[0] = std::nextafter(p2[0], 1.0);
+  const std::vector<EnergyProfile> profiles{p1, p2};
+
+  ProfileEvaluator plain(inst);
+  const std::vector<double> reference = plain.evaluateBatch(profiles, nullptr);
+
+  ProfileCache cache;
+  {
+    ProfileEvaluator warm(inst, &cache);
+    warm.cached(p1);
+  }
+  ASSERT_EQ(cache.size(), 1u);
+
+  ProfileEvaluator throughCache(inst, &cache);
+  const std::vector<double> out = throughCache.evaluateBatch(profiles, nullptr);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], reference[0]);
+  EXPECT_EQ(out[1], reference[1]);
+  // p1 was a shared hit; p2's fresh answer joined the cache in the commit
+  // phase. One hit, and the two original misses (warm-up + p2).
+  EXPECT_EQ(cache.size(), 2u);
+  const ProfileCacheCounters counters = cache.counters();
+  EXPECT_EQ(counters.hits, 1);
+  EXPECT_EQ(counters.misses, 2);
+}
+
+TEST(ProfileCacheSharding, RoundsShardCountToPowerOfTwo) {
+  const ProfileCache a(1024, 12);
+  EXPECT_EQ(a.shardCount(), 16u);
+  const ProfileCache b(1024, 1);
+  EXPECT_EQ(b.shardCount(), 1u);
+  const ProfileCache c(1024, 0);
+  EXPECT_EQ(c.shardCount(), 1u);
+}
+
+TEST(ProfileCacheSharding, FirstStoreWinsOnDuplicateKeys) {
+  ProfileCache cache;
+  const EnergyProfile p{1.0, 2.0};
+  cache.store(9, p, 5.0);
+  cache.store(9, p, 7.0);  // same key: ignored, values are pure anyway
+  const auto hit = cache.lookup(9, p);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 5.0);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ProfileCacheSharding, PerShardCapacitySweepCountsInvalidations) {
+  ProfileCache cache(32, 4);  // 8 entries per shard
+  for (int i = 0; i < 1000; ++i) {
+    const EnergyProfile p{static_cast<double>(i), 1.0};
+    cache.store(static_cast<std::uint64_t>(i), p, static_cast<double>(i));
+  }
+  EXPECT_GT(cache.counters().invalidations, 0);
+  EXPECT_LE(cache.size(), 32u);
+}
+
+TEST(ProfileCacheSharding, ContentDigestIsLayoutAndOrderIndependent) {
+  // The same entry set through different shard layouts and insertion orders
+  // must digest identically — that is what lets the differential harness
+  // compare caches produced by different execution modes.
+  ProfileCache one(1 << 12, 1);
+  ProfileCache many(1 << 12, 16);
+  for (int i = 0; i < 100; ++i) {
+    const EnergyProfile p{static_cast<double>(i) * 0.31, 4.0};
+    one.store(7, p, std::sin(i));
+  }
+  for (int i = 99; i >= 0; --i) {
+    const EnergyProfile p{static_cast<double>(i) * 0.31, 4.0};
+    many.store(7, p, std::sin(i));
+  }
+  EXPECT_EQ(one.size(), many.size());
+  EXPECT_EQ(one.contentDigest(), many.contentDigest());
+  // And a differing value must change the digest.
+  ProfileCache other(1 << 12, 16);
+  for (int i = 0; i < 100; ++i) {
+    const EnergyProfile p{static_cast<double>(i) * 0.31, 4.0};
+    other.store(7, p, i == 50 ? std::sin(i) + 1e-9 : std::sin(i));
+  }
+  EXPECT_NE(other.contentDigest(), one.contentDigest());
+}
+
+}  // namespace
+}  // namespace dsct

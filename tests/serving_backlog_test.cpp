@@ -204,6 +204,36 @@ TEST(CrossEpochCache, BitIdenticalUnderFaultTraces) {
   EXPECT_EQ(fresh.profileCacheMisses, 0);
 }
 
+TEST(CrossEpochCache, BitIdenticalWithParallelCachedEval) {
+  // Running the epoch solver's batch evaluations on an oversubscribed
+  // worker pool with concurrent shared-cache reads must reproduce the
+  // single-threaded run bit for bit — including the cache traffic counters;
+  // only contention (a lock-timing measurement) may differ.
+  const auto machines = machinesFromCatalog({"T4", "V100"});
+  sim::ServingOptions options;
+  options.arrivalRatePerSecond = 15.0;
+  options.horizonSeconds = 4.0;
+  options.epochSeconds = 0.5;
+  options.relDeadlineLo = 1.0;
+  options.relDeadlineHi = 3.0;
+  options.energyBudgetPerEpoch = 25.0;
+  options.seed = 41;
+  options.carryBacklog = true;
+  options.crossSolveCache = true;
+  options.parallelCachedEval = true;
+  options.solverThreads = 8;
+  const auto parallel =
+      sim::runServing(machines, sim::Policy::kApprox, options);
+  options.parallelCachedEval = false;
+  const auto serial = sim::runServing(machines, sim::Policy::kApprox, options);
+  expectBitIdentical(parallel, serial);
+  EXPECT_EQ(parallel.profileCacheHits, serial.profileCacheHits);
+  EXPECT_EQ(parallel.profileCacheMisses, serial.profileCacheMisses);
+  EXPECT_EQ(parallel.profileCacheInvalidations,
+            serial.profileCacheInvalidations);
+  EXPECT_GT(parallel.profileCacheShards, 0);
+}
+
 TEST(CrossEpochCache, CountersZeroForNonApproxPolicies) {
   // The cache rides the FR-OPT evaluator; EDF policies never touch it even
   // with the option left on.
