@@ -5,12 +5,8 @@
 // the continuous-compression approximation.
 #include <iostream>
 
-#include "baselines/edf_levels.h"
-#include "baselines/edf_nocompress.h"
-#include "baselines/levels_opt.h"
 #include "bench/bench_common.h"
 #include "experiments/runner.h"
-#include "sched/approx.h"
 #include "util/csv.h"
 #include "util/rng.h"
 #include "util/table.h"
@@ -25,6 +21,10 @@ int main() {
   const int n = bench::fullScale() ? 100 : 50;
   const int reps = bench::fullScale() ? 20 : 8;
   const std::vector<double> betas{0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0};
+  // Column order of the table/CSV below; extend the comparison by adding a
+  // registered solver name here.
+  const std::vector<std::string> solverNames{"edf", "edf3", "levels-opt",
+                                             "approx"};
 
   ExperimentRunner runner;
   Table table({"beta", "EDF-NoCompr", "EDF-3Lvl greedy", "EDF-3Lvl optimal",
@@ -33,22 +33,27 @@ int main() {
                 {"beta", "edf_nocompression", "edf_levels_greedy",
                  "edf_levels_optimal", "approx"});
   for (double beta : betas) {
-    const auto stats = runner.replicateMulti(reps, 4, [&](int rep) {
-      ScenarioSpec spec;
-      spec.numTasks = n;
-      spec.numMachines = 2;
-      spec.rho = 1.0;
-      spec.beta = beta;
-      spec.budgetMode = BudgetMode::kWorkloadEnergy;
-      const Instance inst =
-          makeScenario(spec, 0.1, 0.1, deriveSeed(31337, rep));
-      const double count = static_cast<double>(inst.numTasks());
-      return std::vector<double>{
-          solveEdfNoCompression(inst).totalAccuracy / count,
-          solveEdfLevels(inst).totalAccuracy / count,
-          solveEdfLevelsOpt(inst).totalAccuracy / count,
-          solveApprox(inst).totalAccuracy / count};
-    });
+    const auto stats = runner.replicateMulti(
+        reps, static_cast<int>(solverNames.size()), [&](int rep) {
+          ScenarioSpec spec;
+          spec.numTasks = n;
+          spec.numMachines = 2;
+          spec.rho = 1.0;
+          spec.beta = beta;
+          spec.budgetMode = BudgetMode::kWorkloadEnergy;
+          const Instance inst =
+              makeScenario(spec, 0.1, 0.1, deriveSeed(31337, rep));
+          const double count = static_cast<double>(inst.numTasks());
+          std::vector<double> metrics;
+          metrics.reserve(solverNames.size());
+          for (const std::string& name : solverNames) {
+            metrics.push_back(
+                bench::runSolverByName(name, inst, runner.context())
+                    .totalAccuracy /
+                count);
+          }
+          return metrics;
+        });
     table.addRow(std::vector<double>{beta, stats[0].mean(), stats[1].mean(),
                                      stats[2].mean(), stats[3].mean()});
     csv.addRow(std::vector<double>{beta, stats[0].mean(), stats[1].mean(),

@@ -17,7 +17,6 @@
 #include "accuracy/fit.h"
 #include "bench/bench_common.h"
 #include "experiments/runner.h"
-#include "sched/approx.h"
 #include "sim/cluster.h"
 #include "util/csv.h"
 #include "util/rng.h"
@@ -84,11 +83,14 @@ int main() {
                                     static_cast<std::uint64_t>(sigma * 100)));
       const Instance estimated = perturb(truth, sigma, rng);
 
-      const auto oracle =
-          scoreAgainstTruth(truth, solveApprox(truth).schedule);
+      const auto oracle = scoreAgainstTruth(
+          truth, *bench::runSolverByName("approx", truth, runner.context())
+                      .schedule);
       // Schedule with the estimate, score against the truth: machine
       // assignments and durations carry over verbatim.
-      const IntegralSchedule noisySched = solveApprox(estimated).schedule;
+      const IntegralSchedule noisySched =
+          *bench::runSolverByName("approx", estimated, runner.context())
+               .schedule;
       std::vector<int> machineOf;
       std::vector<double> duration;
       for (int j = 0; j < truth.numTasks(); ++j) {

@@ -9,11 +9,25 @@
 #include <iostream>
 #include <string>
 
+#include "core/solver_api.h"
+#include "core/solver_registry.h"
+#include "sched/types.h"
+
 namespace dsct::bench {
 
 inline bool fullScale() {
   const char* env = std::getenv("DSCT_BENCH_FULL");
   return env != nullptr && std::string(env) == "1";
+}
+
+/// Resolve `name` in the solver registry and solve `inst` under `context`.
+/// Benches compare algorithms by name, so extending a sweep is a string in
+/// a list rather than a new direct call (and a typo fails loudly with the
+/// registered names listed).
+inline SolveOutcome runSolverByName(const std::string& name,
+                                    const Instance& inst,
+                                    const SolveContext& context) {
+  return SolverRegistry::instance().resolve(name).solve(inst, context);
 }
 
 inline void printHeader(const std::string& title, const std::string& source) {

@@ -40,8 +40,8 @@ int main() {
 
   for (double mtbf : mtbfs) {
     for (double shockFactor : shockFactors) {
-      for (sim::Policy policy :
-           {sim::Policy::kApprox, sim::Policy::kEdfLevels}) {
+      // Registry names: the primary policy under test and its fallback.
+      for (const std::string policy : {"approx", "edf3"}) {
         // Metrics: accuracy, misses, energy, retries, fallbacks, shed.
         const auto stats = runner.replicateMulti(reps, 6, [&](int rep) {
           sim::ServingOptions o;
@@ -65,14 +65,14 @@ int main() {
               s.totalEnergy, static_cast<double>(s.retries),
               static_cast<double>(s.fallbacks), static_cast<double>(s.shed)};
         });
-        if (policy == sim::Policy::kApprox) {
+        if (policy == "approx") {
           table.addRow(std::vector<double>{mtbf, shockFactor, stats[0].mean(),
                                            stats[1].mean(), stats[3].mean(),
                                            stats[4].mean()});
         }
         const std::string variant =
-            std::string(toString(policy)) + "/shock=" +
-            std::to_string(shockFactor);
+            SolverRegistry::instance().resolve(policy).displayName() +
+            "/shock=" + std::to_string(shockFactor);
         csv.addRow(std::vector<std::string>{
             "mtbf", std::to_string(mtbf), variant,
             std::to_string(stats[0].mean()), std::to_string(stats[1].mean()),

@@ -1,68 +1,104 @@
-// Solver tour: the LP/MIP substrate is a standalone library. This example
-// solves a classic diet LP, a knapsack MIP, and finally the paper's own
-// DSCT-EA MIP on a small instance, warm-started with the approximation
-// algorithm — the exact workflow used to reproduce Fig. 4.
+// Solver tour: every algorithm in the repo through one interface.
+//
+// The SolverRegistry (src/core/) is the single dispatch point for all of the
+// paper's algorithms and baselines. This example walks it end to end: list
+// the registered solvers and their capabilities, run each one on the same
+// instance through a shared SolveContext, then use registry outcomes to
+// check the paper's SOL <= OPT <= UB ordering.
 //
 //   $ ./solver_tour
 #include <iostream>
+#include <string>
 
 #include "dsct/dsct.h"
 
 int main() {
   using namespace dsct;
 
-  // ---- 1. A diet-style LP ----
-  // Minimise cost 3x + 2y subject to nutrition rows.
-  lp::Model diet;
-  const int x = diet.addVariable(0.0, lp::kInfinity, 3.0, lp::VarType::kContinuous, "oats");
-  const int y = diet.addVariable(0.0, lp::kInfinity, 2.0, lp::VarType::kContinuous, "rice");
-  diet.addConstraint({{x, 2.0}, {y, 1.0}}, lp::Sense::kGe, 8.0, "protein");
-  diet.addConstraint({{x, 1.0}, {y, 3.0}}, lp::Sense::kGe, 9.0, "fiber");
-  const lp::LpResult dietRes = lp::solveLp(diet);
-  std::cout << "diet LP: status " << lp::toString(dietRes.status)
-            << ", cost " << formatFixed(dietRes.objective, 3) << " (oats "
-            << formatFixed(dietRes.x[0], 2) << ", rice "
-            << formatFixed(dietRes.x[1], 2) << ")\n";
+  SolverRegistry& registry = SolverRegistry::instance();
 
-  // ---- 2. A knapsack MIP ----
-  lp::Model knapsack;
-  knapsack.setMaximize(true);
-  const double values[] = {10, 13, 7, 4};
-  const double weights[] = {3, 4, 2, 1};
-  std::vector<std::pair<int, double>> row;
-  for (int i = 0; i < 4; ++i) {
-    row.emplace_back(knapsack.addBinary(values[i]), weights[i]);
+  // ---- 1. What is registered? ----
+  // Names and aliases both resolve; capabilities say what each solver emits
+  // (an integral schedule, a fractional relaxation, or both) and whether it
+  // is exact and deterministic.
+  std::cout << "registered solvers:\n";
+  for (const Solver* solver : registry.solvers()) {
+    std::string aliases;
+    for (const std::string& alias : registry.aliasesOf(solver->name())) {
+      if (!aliases.empty()) aliases += ", ";
+      aliases += alias;
+    }
+    const SolverCapabilities caps = solver->capabilities();
+    std::cout << "  " << solver->name() << " (" << solver->displayName()
+              << ")";
+    if (!aliases.empty()) std::cout << " aka " << aliases;
+    std::cout << " [" << (caps.integral ? "integral" : "")
+              << (caps.integral && caps.fractional ? "+" : "")
+              << (caps.fractional ? "fractional" : "")
+              << (caps.exact ? ", exact" : "")
+              << (caps.deterministic ? "" : ", nondeterministic") << "]\n";
   }
-  knapsack.addConstraint(row, lp::Sense::kLe, 6.0, "capacity");
-  const lp::MipResult knapRes = lp::solveMip(knapsack);
-  std::cout << "knapsack MIP: status " << lp::toString(knapRes.status)
-            << ", value " << formatFixed(knapRes.objective, 1)
-            << " in " << knapRes.nodes << " nodes\n";
 
-  // ---- 3. The paper's MIP, warm-started by the approximation ----
+  // ---- 2. One instance, every solver, one shared context ----
+  // The context carries per-family options plus the cross-solve profile
+  // cache; passing the same context to every solve is exactly what the
+  // serving loop and the experiment runner do.
   ScenarioSpec spec;
   spec.numTasks = 6;
   spec.numMachines = 2;
   spec.rho = 0.35;
   spec.beta = 0.5;
   const Instance inst = makeScenario(spec, 0.1, 1.0, 11);
-  const ApproxResult approx = solveApprox(inst);
 
-  lp::MipOptions options;
-  options.timeLimitSeconds = 10.0;
-  const MipSolveSummary exact = solveDsctMip(inst, options, &approx.schedule);
+  ProfileCache cache;
+  SolveContext context;
+  context.frOpt.sharedCache = &cache;
+  context.mip.timeLimitSeconds = 10.0;
+  context.lp.timeLimitSeconds = 10.0;
 
-  std::cout << "DSCT-EA MIP (n=6, m=2):\n"
-            << "  approx  SOL = " << formatFixed(approx.totalAccuracy, 5)
+  std::cout << "\nn=" << inst.numTasks() << ", m=" << inst.numMachines()
+            << ", budget " << formatFixed(inst.energyBudget(), 3) << ":\n";
+  for (const Solver* solver : registry.solvers()) {
+    const SolveOutcome out = solver->solve(inst, context);
+    std::cout << "  " << out.solver << ": ";
+    if (!out.solved()) {
+      std::cout << "no solution within limits\n";
+      continue;
+    }
+    std::cout << "accuracy " << formatFixed(out.totalAccuracy, 5)
+              << ", energy " << formatFixed(out.energy, 3) << ", "
+              << out.scheduledTasks << "/" << inst.numTasks()
+              << " tasks in " << formatFixed(out.wallSeconds * 1e3, 2)
+              << " ms\n";
+  }
+  std::cout << "profile cache after the tour: " << cache.counters().hits
+            << " hits / " << cache.counters().misses << " misses\n";
+
+  // ---- 3. The paper's sandwich, via registry outcomes ----
+  // approx gives SOL and the fractional upper bound UB; the warm-started
+  // MIP gives OPT. All three come back on the same SolveOutcome shape.
+  const SolveOutcome approx = registry.resolve("approx").solve(inst, context);
+  const SolveOutcome exact =
+      registry.resolve("mip-warm").solve(inst, context);
+  std::cout << "\nDSCT-EA ordering on this instance:\n"
+            << "  approx   SOL = " << formatFixed(approx.totalAccuracy, 5)
+            << " (guarantee G = " << formatFixed(approx.guaranteeG, 4)
+            << ")\n"
+            << "  mip-warm OPT = " << formatFixed(exact.totalAccuracy, 5)
             << '\n'
-            << "  exact   OPT = " << formatFixed(exact.totalAccuracy, 5)
-            << " (status " << lp::toString(exact.result.status) << ", "
-            << exact.result.nodes << " nodes, gap "
-            << formatFixed(exact.result.gap(), 6) << ")\n"
-            << "  UB (frac)   = " << formatFixed(approx.upperBound, 5) << '\n';
-  std::cout << "ordering SOL <= OPT <= UB holds: "
+            << "  UB (frac)    = " << formatFixed(approx.upperBound, 5)
+            << '\n'
+            << "ordering SOL <= OPT <= UB holds: "
             << (approx.totalAccuracy <= exact.totalAccuracy + 1e-6 &&
                         exact.totalAccuracy <= approx.upperBound + 1e-6
+                    ? "yes"
+                    : "no")
+            << '\n';
+
+  // Aliases resolve to the very same solver instance.
+  std::cout << "alias check: &resolve(\"dsct-ea-approx\") == &resolve(\"approx\"): "
+            << (&registry.resolve("dsct-ea-approx") ==
+                        &registry.resolve("approx")
                     ? "yes"
                     : "no")
             << '\n';

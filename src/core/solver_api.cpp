@@ -1,0 +1,38 @@
+#include "core/solver_api.h"
+
+#include "util/timer.h"
+
+namespace dsct {
+
+SolveOutcome Solver::solve(const Instance& inst,
+                           const SolveContext& context) const {
+  Stopwatch watch;
+  SolveOutcome outcome = doSolve(inst, context);
+  outcome.solver = name();
+  outcome.wallSeconds = watch.elapsedSeconds();
+  return outcome;
+}
+
+void fillFromIntegral(const Instance& inst, SolveOutcome& outcome) {
+  const IntegralSchedule& schedule = *outcome.schedule;
+  outcome.totalAccuracy = schedule.totalAccuracy(inst);
+  outcome.energy = schedule.energy(inst);
+  outcome.scheduledTasks = schedule.numScheduled();
+  outcome.droppedTasks = inst.numTasks() - schedule.numScheduled();
+  outcome.machineLoads = schedule.machineLoads();
+}
+
+void fillFromFractional(const Instance& inst, SolveOutcome& outcome) {
+  const FractionalSchedule& schedule = *outcome.fractional;
+  outcome.totalAccuracy = schedule.totalAccuracy(inst);
+  outcome.energy = schedule.energy(inst);
+  outcome.machineLoads = schedule.machineLoads();
+  int scheduled = 0;
+  for (int j = 0; j < inst.numTasks(); ++j) {
+    if (schedule.flops(inst, j) > 0.0) ++scheduled;
+  }
+  outcome.scheduledTasks = scheduled;
+  outcome.droppedTasks = inst.numTasks() - scheduled;
+}
+
+}  // namespace dsct

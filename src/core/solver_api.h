@@ -1,0 +1,133 @@
+// Unified solver API: one interface from the algorithms to the serving
+// loop, the experiment harness, the benches, and the CLI.
+//
+// Every algorithm in the repo (Algorithm 5 APPROX, Algorithm 4 FR-OPT, the
+// EDF baselines, the knapsack-optimal level baseline, and the MIP/LP paths)
+// is exposed as a `Solver`: `name()` is the registry key callers dispatch
+// on, `capabilities()` says what the solver produces and which shared
+// resources it honours, and `solve()` returns a `SolveOutcome` that
+// normalizes the previously incompatible result structs (ApproxResult,
+// FrOptResult, BaselineResult, MipSolveSummary, LpResult).
+//
+// A `SolveContext` carries everything callers used to re-plumb ad hoc: the
+// FR-OPT options (refine configuration, worker pool, the cross-solve
+// ProfileCache the serving loop shares across epochs) and the LP/MIP time
+// limits. Passing the same context to every solve is what makes an
+// experiment run exercise the exact configuration the serving loop does.
+//
+// Dispatching through this API is numerically invisible: a registry solve
+// calls the same underlying function with the same options, so outcomes are
+// bit-identical to direct `solveApprox`/`solveFrOpt`/... calls
+// (tests/core_solver_registry_test.cpp pins this).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "sched/energy_profile.h"
+#include "sched/fr_opt.h"
+#include "sched/schedule.h"
+#include "sched/types.h"
+#include "solver/mip.h"
+#include "solver/simplex.h"
+
+namespace dsct {
+
+/// What a solver produces and which SolveContext resources it honours.
+struct SolverCapabilities {
+  /// Produces an integral (one machine per task) schedule — required for
+  /// execution on the simulated cluster and for the serving loop.
+  bool integral = true;
+  /// Produces a fractional schedule (the DSCT-EA-FR relaxation).
+  bool fractional = false;
+  /// Honours SolveContext::frOpt.sharedCache (cross-solve ProfileCache).
+  bool usesProfileCache = false;
+  /// Honours SolveContext::frOpt.pool / parallelCachedEval.
+  bool usesThreadPool = false;
+  /// Exact method (MIP / LP) rather than an approximation or heuristic.
+  bool exact = false;
+  /// Repeat solves of the same instance under the same context are
+  /// bit-identical. False for wall-clock-limited searches (the MIP paths),
+  /// whose incumbent depends on where the limit cuts the tree.
+  bool deterministic = true;
+};
+
+/// Shared per-call configuration, threaded through every dispatch layer
+/// instead of each one re-plumbing options ad hoc.
+struct SolveContext {
+  /// Refine options, worker pool, cross-solve ProfileCache, parallel cached
+  /// evaluation — consumed by the approx / fr-opt solvers.
+  FrOptOptions frOpt;
+  /// Branch-and-bound options (time limit, node limit) for the MIP solvers.
+  lp::MipOptions mip;
+  /// Simplex options (time limit) for the fr-lp solver.
+  lp::LpOptions lp;
+};
+
+/// Normalized result of any solver: schedule(s), objective, energy, wall
+/// time, and the FR-OPT work/cache/slack telemetry (zeroed when the solver
+/// has none).
+struct SolveOutcome {
+  std::string solver;  ///< registry name of the producing solver
+
+  /// Integral schedule (absent for fractional-only solvers, and for exact
+  /// solvers that proved nothing within their limits).
+  std::optional<IntegralSchedule> schedule;
+  /// Fractional schedule (the relaxation used for rounding, or the solver's
+  /// primary output for fractional-only solvers).
+  std::optional<FractionalSchedule> fractional;
+
+  double totalAccuracy = 0.0;  ///< SOL of the returned schedule
+  double energy = 0.0;         ///< Joules consumed by the returned schedule
+  /// Proven bound on the optimum: the fractional OPT for approx, the
+  /// branch-and-bound bound for the MIPs; 0 when the solver proves none.
+  double upperBound = 0.0;
+  /// The additive approximation bound G (approx only; 0 otherwise).
+  double guaranteeG = 0.0;
+  int scheduledTasks = 0;  ///< tasks receiving > 0 work
+  int droppedTasks = 0;
+  /// Realised per-machine loads (seconds): the refined profile for
+  /// fractional solvers, the timeline loads for integral ones.
+  EnergyProfile machineLoads;
+  double wallSeconds = 0.0;  ///< stamped by Solver::solve
+
+  /// FR-OPT work counters incl. cross-solve cache and slack-engine traffic;
+  /// all zero for solvers without that telemetry.
+  FrOptCounters counters;
+
+  /// Did the solver produce any schedule at all?
+  bool solved() const { return schedule.has_value() || fractional.has_value(); }
+};
+
+/// The unified solver interface. Implementations are stateless (all mutable
+/// state lives in the SolveContext resources), so one registered instance
+/// may be solved from many threads concurrently.
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  /// Registry key (stable, lower-case, e.g. "approx", "edf3", "mip-warm").
+  virtual const std::string& name() const = 0;
+  /// Paper-style label for tables and logs (e.g. "DSCT-EA-Approx").
+  virtual const std::string& displayName() const = 0;
+  virtual SolverCapabilities capabilities() const = 0;
+
+  /// Solve `inst` under `context`; stamps SolveOutcome::solver/wallSeconds.
+  SolveOutcome solve(const Instance& inst, const SolveContext& context) const;
+
+ protected:
+  virtual SolveOutcome doSolve(const Instance& inst,
+                               const SolveContext& context) const = 0;
+};
+
+// --- Outcome builders shared by the builtin solvers (exposed so external
+// --- registrations can normalize their results the same way) --------------
+
+/// Fill schedule-derived fields (accuracy, energy, counts, loads) from an
+/// integral schedule.
+void fillFromIntegral(const Instance& inst, SolveOutcome& outcome);
+
+/// Fill schedule-derived fields from the outcome's fractional schedule.
+void fillFromFractional(const Instance& inst, SolveOutcome& outcome);
+
+}  // namespace dsct

@@ -1,0 +1,237 @@
+#include "core/solver_registry.h"
+
+#include <sstream>
+#include <utility>
+
+#include "baselines/edf_levels.h"
+#include "baselines/edf_nocompress.h"
+#include "baselines/levels_opt.h"
+#include "mipmodel/dsct_lp.h"
+#include "mipmodel/dsct_mip.h"
+#include "sched/approx.h"
+#include "sched/fr_opt.h"
+#include "util/check.h"
+
+namespace dsct {
+
+namespace {
+
+class FunctionSolver final : public Solver {
+ public:
+  FunctionSolver(
+      std::string name, std::string displayName,
+      SolverCapabilities capabilities,
+      std::function<SolveOutcome(const Instance&, const SolveContext&)> fn)
+      : name_(std::move(name)),
+        displayName_(std::move(displayName)),
+        capabilities_(capabilities),
+        fn_(std::move(fn)) {}
+
+  const std::string& name() const override { return name_; }
+  const std::string& displayName() const override { return displayName_; }
+  SolverCapabilities capabilities() const override { return capabilities_; }
+
+ protected:
+  SolveOutcome doSolve(const Instance& inst,
+                       const SolveContext& context) const override {
+    return fn_(inst, context);
+  }
+
+ private:
+  std::string name_;
+  std::string displayName_;
+  SolverCapabilities capabilities_;
+  std::function<SolveOutcome(const Instance&, const SolveContext&)> fn_;
+};
+
+SolveOutcome fromBaseline(const Instance& inst, BaselineResult res) {
+  SolveOutcome outcome;
+  outcome.schedule = std::move(res.schedule);
+  fillFromIntegral(inst, outcome);
+  return outcome;
+}
+
+SolveOutcome solveMipOutcome(const Instance& inst, const SolveContext& context,
+                             bool warmStart) {
+  std::optional<ApproxResult> warm;
+  if (warmStart) warm = solveApprox(inst, context.frOpt);
+  const MipSolveSummary summary = solveDsctMip(
+      inst, context.mip, warm ? &warm->schedule : nullptr);
+  SolveOutcome outcome;
+  outcome.upperBound = summary.result.bestBound;
+  if (summary.schedule.has_value()) {
+    outcome.schedule = *summary.schedule;
+    fillFromIntegral(inst, outcome);
+  }
+  return outcome;
+}
+
+}  // namespace
+
+std::unique_ptr<Solver> makeSolver(
+    std::string name, std::string displayName, SolverCapabilities capabilities,
+    std::function<SolveOutcome(const Instance&, const SolveContext&)> fn) {
+  return std::make_unique<FunctionSolver>(std::move(name),
+                                          std::move(displayName), capabilities,
+                                          std::move(fn));
+}
+
+SolverRegistry& SolverRegistry::instance() {
+  static SolverRegistry registry;
+  return registry;
+}
+
+void SolverRegistry::add(std::unique_ptr<Solver> solver,
+                         std::vector<std::string> aliases) {
+  DSCT_CHECK(solver != nullptr);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const Solver* raw = solver.get();
+  DSCT_CHECK_MSG(byName_.emplace(raw->name(), raw).second,
+                 "duplicate solver name: " + raw->name());
+  for (const std::string& alias : aliases) {
+    DSCT_CHECK_MSG(byName_.emplace(alias, raw).second,
+                   "duplicate solver alias: " + alias);
+  }
+  aliases_.emplace(raw->name(), std::move(aliases));
+  solvers_.push_back(std::move(solver));
+}
+
+const Solver* SolverRegistry::find(const std::string& nameOrAlias) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = byName_.find(nameOrAlias);
+  return it == byName_.end() ? nullptr : it->second;
+}
+
+const Solver& SolverRegistry::resolve(const std::string& nameOrAlias) const {
+  const Solver* solver = find(nameOrAlias);
+  if (solver == nullptr) {
+    std::ostringstream msg;
+    msg << "unknown solver '" << nameOrAlias << "' (registered:";
+    for (const std::string& name : names()) msg << ' ' << name;
+    msg << ')';
+    DSCT_CHECK_MSG(false, msg.str());
+  }
+  return *solver;
+}
+
+std::vector<const Solver*> SolverRegistry::solvers() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<const Solver*> out;
+  out.reserve(solvers_.size());
+  for (const auto& solver : solvers_) out.push_back(solver.get());
+  return out;
+}
+
+std::vector<std::string> SolverRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(solvers_.size());
+  for (const auto& solver : solvers_) out.push_back(solver->name());
+  return out;
+}
+
+std::vector<std::string> SolverRegistry::aliasesOf(
+    const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = aliases_.find(name);
+  return it == aliases_.end() ? std::vector<std::string>{} : it->second;
+}
+
+SolverRegistry::SolverRegistry() {
+  SolverCapabilities approxCaps;
+  approxCaps.integral = true;
+  approxCaps.fractional = true;
+  approxCaps.usesProfileCache = true;
+  approxCaps.usesThreadPool = true;
+  add(makeSolver(
+          "approx", "DSCT-EA-Approx", approxCaps,
+          [](const Instance& inst, const SolveContext& context) {
+            ApproxResult res = solveApprox(inst, context.frOpt);
+            SolveOutcome outcome;
+            outcome.counters = res.fractional.counters;
+            outcome.fractional = std::move(res.fractional.schedule);
+            outcome.schedule = std::move(res.schedule);
+            fillFromIntegral(inst, outcome);
+            outcome.upperBound = res.upperBound;
+            outcome.guaranteeG = res.guarantee.g;
+            return outcome;
+          }),
+      {"dsct-ea-approx"});
+
+  SolverCapabilities frOptCaps;
+  frOptCaps.integral = false;
+  frOptCaps.fractional = true;
+  frOptCaps.usesProfileCache = true;
+  frOptCaps.usesThreadPool = true;
+  add(makeSolver(
+          "fr-opt", "DSCT-EA-FR-OPT", frOptCaps,
+          [](const Instance& inst, const SolveContext& context) {
+            FrOptResult res = solveFrOpt(inst, context.frOpt);
+            SolveOutcome outcome;
+            outcome.counters = res.counters;
+            outcome.fractional = std::move(res.schedule);
+            fillFromFractional(inst, outcome);
+            // A fractional optimum is its own upper bound; the realised
+            // loads are the refined profile (Fig. 6 plots them).
+            outcome.upperBound = res.totalAccuracy;
+            outcome.machineLoads = std::move(res.refinedProfile);
+            return outcome;
+          }),
+      {"fropt"});
+
+  add(makeSolver("edf", "EDF-NoCompression", SolverCapabilities{},
+                 [](const Instance& inst, const SolveContext&) {
+                   return fromBaseline(inst, solveEdfNoCompression(inst));
+                 }),
+      {"edf-nocompress"});
+
+  add(makeSolver("edf3", "EDF-3CompressionLevels", SolverCapabilities{},
+                 [](const Instance& inst, const SolveContext&) {
+                   return fromBaseline(inst, solveEdfLevels(inst));
+                 }),
+      {"edf-levels"});
+
+  add(makeSolver("levels-opt", "EDF-LevelsOpt", SolverCapabilities{},
+                 [](const Instance& inst, const SolveContext&) {
+                   return fromBaseline(inst, solveEdfLevelsOpt(inst));
+                 }),
+      {"edf3-opt"});
+
+  SolverCapabilities mipCaps;
+  mipCaps.integral = true;
+  mipCaps.exact = true;
+  mipCaps.deterministic = false;  // the incumbent depends on the time limit
+  SolverCapabilities mipWarmCaps = mipCaps;
+  mipWarmCaps.usesProfileCache = true;  // via the approx warm start
+  mipWarmCaps.usesThreadPool = true;
+  add(makeSolver("mip-warm", "DSCT-EA-Opt (MIP, warm-started)", mipWarmCaps,
+                 [](const Instance& inst, const SolveContext& context) {
+                   return solveMipOutcome(inst, context, /*warmStart=*/true);
+                 }),
+      {"mip"});
+  add(makeSolver("mip-cold", "DSCT-EA-Opt (MIP, cold)", mipCaps,
+                 [](const Instance& inst, const SolveContext& context) {
+                   return solveMipOutcome(inst, context, /*warmStart=*/false);
+                 }));
+
+  SolverCapabilities frLpCaps;
+  frLpCaps.integral = false;
+  frLpCaps.fractional = true;
+  frLpCaps.exact = true;
+  add(makeSolver(
+          "fr-lp", "DSCT-EA-FR (LP via simplex)", frLpCaps,
+          [](const Instance& inst, const SolveContext& context) {
+            const DsctLp lpModel = buildFractionalLp(inst);
+            const lp::LpResult res = lp::solveLp(lpModel.model, context.lp);
+            SolveOutcome outcome;
+            if (res.status == lp::SolveStatus::kOptimal) {
+              outcome.fractional = extractFractional(inst, lpModel, res.x);
+              fillFromFractional(inst, outcome);
+              outcome.upperBound = res.objective;
+            }
+            return outcome;
+          }),
+      {"frlp"});
+}
+
+}  // namespace dsct

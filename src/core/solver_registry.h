@@ -1,0 +1,74 @@
+// Process-wide solver registry: resolve any algorithm by name.
+//
+// The registry replaces the four hand-rolled dispatch layers that existed
+// before it (the serving loop's Policy switch, experiments/scenarios.cpp's
+// per-algorithm blocks, per-bench dispatch, and dsct_cli string matching).
+// Adding a policy is now one registration: it immediately becomes available
+// to `dsct_cli solve --algo`, `dsct_cli serve --policy`, the serving
+// fallback chain, the experiment harness, and the benches.
+//
+// Builtin registrations (name — aliases — display name):
+//   approx     — dsct-ea-approx     — DSCT-EA-Approx (Algorithm 5)
+//   fr-opt     — fropt              — DSCT-EA-FR-OPT (Algorithm 4)
+//   edf        — edf-nocompress     — EDF-NoCompression
+//   edf3       — edf-levels         — EDF-3CompressionLevels
+//   levels-opt — edf3-opt           — EDF-LevelsOpt (knapsack-optimal)
+//   mip-warm   — mip                — branch-and-bound warm-started by approx
+//   mip-cold   —                    — cold branch-and-bound (Fig. 4 baseline)
+//   fr-lp      — frlp               — fractional relaxation via the simplex
+//
+// Lookups are thread-safe; registration normally happens before threads
+// fan out but is guarded by the same mutex.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/solver_api.h"
+
+namespace dsct {
+
+class SolverRegistry {
+ public:
+  /// The process-wide registry, builtins pre-registered.
+  static SolverRegistry& instance();
+
+  /// Register a solver under solver->name() plus `aliases`. Throws on a
+  /// duplicate name or alias.
+  void add(std::unique_ptr<Solver> solver,
+           std::vector<std::string> aliases = {});
+
+  /// Lookup by name or alias; nullptr when unknown.
+  const Solver* find(const std::string& nameOrAlias) const;
+  /// Lookup by name or alias; throws CheckError naming the known solvers.
+  const Solver& resolve(const std::string& nameOrAlias) const;
+
+  /// Registered solvers in registration order.
+  std::vector<const Solver*> solvers() const;
+  /// Primary names in registration order.
+  std::vector<std::string> names() const;
+  /// Aliases registered for `name` (empty when none / unknown).
+  std::vector<std::string> aliasesOf(const std::string& name) const;
+
+  SolverRegistry(const SolverRegistry&) = delete;
+  SolverRegistry& operator=(const SolverRegistry&) = delete;
+
+ private:
+  SolverRegistry();  // registers the builtins
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Solver>> solvers_;          // registration order
+  std::unordered_map<std::string, const Solver*> byName_; // names + aliases
+  std::unordered_map<std::string, std::vector<std::string>> aliases_;
+};
+
+/// Convenience for lambda-based registration: wraps `fn` in a Solver.
+std::unique_ptr<Solver> makeSolver(
+    std::string name, std::string displayName, SolverCapabilities capabilities,
+    std::function<SolveOutcome(const Instance&, const SolveContext&)> fn);
+
+}  // namespace dsct

@@ -18,6 +18,8 @@
 #include "baselines/edf_levels.h"
 #include "baselines/edf_nocompress.h"
 #include "baselines/levels_opt.h"
+#include "core/solver_api.h"
+#include "core/solver_registry.h"
 #include "experiments/report.h"
 #include "experiments/runner.h"
 #include "experiments/scenarios.h"

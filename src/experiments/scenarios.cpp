@@ -4,12 +4,11 @@
 #include <cmath>
 #include <string>
 
-#include "baselines/edf_levels.h"
-#include "baselines/edf_nocompress.h"
+#include "core/solver_api.h"
+#include "core/solver_registry.h"
 #include "mipmodel/dsct_lp.h"
 #include "mipmodel/dsct_mip.h"
-#include "sched/approx.h"
-#include "sched/fr_opt.h"
+#include "sched/energy_profile.h"
 #include "solver/mip.h"
 #include "solver/simplex.h"
 #include "util/check.h"
@@ -66,9 +65,11 @@ std::vector<Fig3Row> runFig3(const Fig3Config& config,
                                static_cast<std::uint64_t>(rep));
           const Instance inst = makeScenario(spec, config.thetaMin,
                                              config.thetaMin * mu, seed);
-          const ApproxResult res = solveApprox(inst);
-          return std::vector<double>{res.optimalityGap(),
-                                     res.guarantee.g};
+          const SolveOutcome res =
+              SolverRegistry::instance().resolve("approx").solve(
+                  inst, runner.context());
+          return std::vector<double>{res.upperBound - res.totalAccuracy,
+                                     res.guaranteeG};
         });
     Fig3Row row;
     row.mu = mu;
@@ -94,7 +95,9 @@ Fig4Config Fig4Config::quick() {
 
 namespace {
 
-Fig4Row runFig4Point(const Fig4Config& config, int n, int m, int pointIndex) {
+Fig4Row runFig4Point(const Fig4Config& config, int n, int m, int pointIndex,
+                     const SolveContext& context) {
+  const Solver& approxSolver = SolverRegistry::instance().resolve("approx");
   Fig4Row row;
   row.size = 0;  // caller sets
   for (int rep = 0; rep < config.replications; ++rep) {
@@ -109,12 +112,11 @@ Fig4Row runFig4Point(const Fig4Config& config, int n, int m, int pointIndex) {
     const Instance inst =
         makeScenario(spec, config.thetaMin, config.thetaMax, seed);
 
-    Stopwatch watch;
-    const ApproxResult approx = solveApprox(inst);
-    row.approxSeconds.add(watch.elapsedSeconds());
+    const SolveOutcome approx = approxSolver.solve(inst, context);
+    row.approxSeconds.add(approx.wallSeconds);
     row.approxAccuracy.add(approx.totalAccuracy /
                            static_cast<double>(std::max(1, n)));
-    const FrOptCounters& counters = approx.fractional.counters;
+    const FrOptCounters& counters = approx.counters;
     row.refineSeconds.add(counters.refineSeconds);
     row.slackQueries.add(static_cast<double>(counters.slackQueries));
     row.slackHits.add(static_cast<double>(counters.slackHits));
@@ -130,7 +132,7 @@ Fig4Row runFig4Point(const Fig4Config& config, int n, int m, int pointIndex) {
     }
     lp::MipOptions options;
     options.timeLimitSeconds = config.mipTimeLimit;
-    watch.reset();
+    Stopwatch watch;
     const lp::MipResult res = lp::solveMip(mip.model, options);
     row.mipSeconds.add(watch.elapsedSeconds());
     if (res.status != lp::SolveStatus::kOptimal) ++row.mipTimeouts;
@@ -143,25 +145,28 @@ Fig4Row runFig4Point(const Fig4Config& config, int n, int m, int pointIndex) {
 
 }  // namespace
 
-std::vector<Fig4Row> runFig4a(const Fig4Config& config, ExperimentRunner&) {
+std::vector<Fig4Row> runFig4a(const Fig4Config& config,
+                              ExperimentRunner& runner) {
   // Timing experiments run serially: parallel replication would contend for
   // cores and distort wall-clock measurements.
   std::vector<Fig4Row> rows;
   for (std::size_t p = 0; p < config.taskCounts.size(); ++p) {
-    Fig4Row row = runFig4Point(config, config.taskCounts[p],
-                               config.fixedMachines, static_cast<int>(p));
+    Fig4Row row =
+        runFig4Point(config, config.taskCounts[p], config.fixedMachines,
+                     static_cast<int>(p), runner.context());
     row.size = config.taskCounts[p];
     rows.push_back(std::move(row));
   }
   return rows;
 }
 
-std::vector<Fig4Row> runFig4b(const Fig4Config& config, ExperimentRunner&) {
+std::vector<Fig4Row> runFig4b(const Fig4Config& config,
+                              ExperimentRunner& runner) {
   std::vector<Fig4Row> rows;
   for (std::size_t p = 0; p < config.machineCounts.size(); ++p) {
-    Fig4Row row = runFig4Point(config, config.fixedTasks,
-                               config.machineCounts[p],
-                               1000 + static_cast<int>(p));
+    Fig4Row row =
+        runFig4Point(config, config.fixedTasks, config.machineCounts[p],
+                     1000 + static_cast<int>(p), runner.context());
     row.size = config.machineCounts[p];
     rows.push_back(std::move(row));
   }
@@ -179,7 +184,8 @@ Table1Config Table1Config::quick() {
 }
 
 std::vector<Table1Row> runTable1(const Table1Config& config,
-                                 ExperimentRunner&) {
+                                 ExperimentRunner& runner) {
+  const Solver& frOptSolver = SolverRegistry::instance().resolve("fr-opt");
   std::vector<Table1Row> rows;
   for (std::size_t p = 0; p < config.taskCounts.size(); ++p) {
     const int n = config.taskCounts[p];
@@ -197,9 +203,8 @@ std::vector<Table1Row> runTable1(const Table1Config& config,
       const Instance inst =
           makeScenario(spec, config.thetaMin, config.thetaMax, seed);
 
-      Stopwatch watch;
-      const FrOptResult fr = solveFrOpt(inst);
-      row.frOptSeconds.add(watch.elapsedSeconds());
+      const SolveOutcome fr = frOptSolver.solve(inst, runner.context());
+      row.frOptSeconds.add(fr.wallSeconds);
       row.frEvaluations.add(static_cast<double>(fr.counters.evaluations));
       row.frCacheHits.add(static_cast<double>(fr.counters.cacheHits));
       row.frDirectionLps.add(
@@ -213,7 +218,7 @@ std::vector<Table1Row> runTable1(const Table1Config& config,
       }
       lp::LpOptions options;
       options.timeLimitSeconds = config.lpTimeLimit;
-      watch.reset();
+      Stopwatch watch;
       const lp::LpResult lpRes = lp::solveLp(lpModel.model, options);
       row.lpSeconds.add(watch.elapsedSeconds());
       if (lpRes.status == lp::SolveStatus::kOptimal) {
@@ -261,9 +266,16 @@ std::vector<Fig5Row> runFig5(const Fig5Config& config,
           const Instance inst =
               makeScenario(spec, config.theta, config.theta, seed);
           const double n = static_cast<double>(inst.numTasks());
-          const ApproxResult approx = solveApprox(inst);
-          const BaselineResult edfNo = solveEdfNoCompression(inst);
-          const BaselineResult edf3 = solveEdfLevels(inst);
+          // One registry dispatch per compared policy — adding a solver to
+          // the comparison is a name in this list, not a new direct call.
+          std::vector<SolveOutcome> outcomes;
+          for (const char* name : {"approx", "edf", "edf3"}) {
+            outcomes.push_back(SolverRegistry::instance().resolve(name).solve(
+                inst, runner.context()));
+          }
+          const SolveOutcome& approx = outcomes[0];
+          const SolveOutcome& edfNo = outcomes[1];
+          const SolveOutcome& edf3 = outcomes[2];
           return std::vector<double>{
               approx.totalAccuracy / n, approx.upperBound / n,
               edfNo.totalAccuracy / n, edf3.totalAccuracy / n,
@@ -345,13 +357,15 @@ std::vector<Fig6Row> runFig6(const Fig6Config& config,
           spec.beta = beta;
           const Instance inst =
               buildInstance(std::move(machines), thetas, spec, rng);
-          const FrOptResult fr = solveFrOpt(inst);
+          const SolveOutcome fr =
+              SolverRegistry::instance().resolve("fr-opt").solve(
+                  inst, runner.context());
           const EnergyProfile naive = naiveProfile(inst);
           const double horizon = inst.maxDeadline();
-          return std::vector<double>{fr.refinedProfile[0],
-                                     fr.refinedProfile[1], naive[0], naive[1],
-                                     horizon, fr.refinedProfile[0] / horizon,
-                                     fr.refinedProfile[1] / horizon};
+          return std::vector<double>{fr.machineLoads[0],
+                                     fr.machineLoads[1], naive[0], naive[1],
+                                     horizon, fr.machineLoads[0] / horizon,
+                                     fr.machineLoads[1] / horizon};
         });
     Fig6Row row;
     row.beta = beta;

@@ -49,10 +49,11 @@ FaultTrace::FaultTrace(std::vector<std::vector<FaultInterval>> downtime,
                        double slowdownFactor,
                        std::vector<double> budgetFactors,
                        std::vector<long long> injectPolicyFailureEpochs,
-                       int maxRetries)
+                       int maxRetries, int injectFailureDepth)
     : enabled_(true),
       slowdownFactor_(slowdownFactor),
       maxRetries_(maxRetries),
+      injectFailureDepth_(injectFailureDepth),
       downtime_(std::move(downtime)),
       slowdown_(std::move(slowdown)),
       budgetFactors_(std::move(budgetFactors)),
@@ -60,6 +61,7 @@ FaultTrace::FaultTrace(std::vector<std::vector<FaultInterval>> downtime,
   DSCT_CHECK_MSG(slowdownFactor_ > 0.0 && slowdownFactor_ <= 1.0,
                  "slowdownFactor must be in (0, 1]");
   DSCT_CHECK(maxRetries_ >= 0);
+  DSCT_CHECK(injectFailureDepth_ >= 1);
   if (slowdown_.empty()) {
     slowdown_.resize(downtime_.size());
   }
@@ -103,7 +105,8 @@ FaultTrace FaultTrace::generate(int numMachines, double horizonSeconds,
                     options.slowdownMtbfSeconds > 0.0 ? options.slowdownFactor
                                                       : 1.0,
                     std::move(budgetFactors),
-                    options.injectPolicyFailureEpochs, options.maxRetries);
+                    options.injectPolicyFailureEpochs, options.maxRetries,
+                    options.injectFailureDepth);
 }
 
 bool FaultTrace::aliveAt(int machine, double t) const {

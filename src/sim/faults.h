@@ -49,6 +49,11 @@ struct FaultOptions {
   /// a policy failure and engages the fallback chain). Deterministic hook
   /// for testing solver-failure recovery without a real crash.
   std::vector<long long> injectPolicyFailureEpochs;
+  /// How many scheduling attempts fail on an injected epoch: 1 (default)
+  /// fails only the primary policy — the pre-chain semantics — while k > 1
+  /// additionally fails the first k−1 fallback-chain attempts, exercising
+  /// deeper entries of ServingOptions::fallbackChain.
+  int injectFailureDepth = 1;
 };
 
 /// Half-open interval [start, end) in absolute simulation seconds.
@@ -69,7 +74,8 @@ class FaultTrace {
   FaultTrace(std::vector<std::vector<FaultInterval>> downtime,
              std::vector<std::vector<FaultInterval>> slowdown,
              double slowdownFactor, std::vector<double> budgetFactors,
-             std::vector<long long> injectPolicyFailureEpochs, int maxRetries);
+             std::vector<long long> injectPolicyFailureEpochs, int maxRetries,
+             int injectFailureDepth = 1);
 
   /// Sample a trace from `options` over [0, horizonSeconds) for
   /// `numMachines` machines and `numEpochs` scheduling epochs.
@@ -103,6 +109,9 @@ class FaultTrace {
   double budgetFactor(long long epoch) const;
 
   bool policyFailureInjected(long long epoch) const;
+  /// Number of scheduling attempts (primary first, then fallbacks) that fail
+  /// on an injected epoch; always >= 1.
+  int injectFailureDepth() const { return injectFailureDepth_; }
 
   int maxRetries() const { return maxRetries_; }
   const std::vector<FaultInterval>& downtime(int machine) const;
@@ -112,6 +121,7 @@ class FaultTrace {
   bool enabled_ = false;
   double slowdownFactor_ = 1.0;
   int maxRetries_ = 2;
+  int injectFailureDepth_ = 1;
   std::vector<std::vector<FaultInterval>> downtime_;   ///< per machine, sorted
   std::vector<std::vector<FaultInterval>> slowdown_;   ///< per machine, sorted
   std::vector<double> budgetFactors_;                  ///< per epoch

@@ -10,9 +10,8 @@
 #include <vector>
 
 #include "accuracy/fit.h"
-#include "baselines/edf_levels.h"
-#include "baselines/edf_nocompress.h"
-#include "sched/approx.h"
+#include "core/solver_api.h"
+#include "core/solver_registry.h"
 #include "sched/profile_cache.h"
 #include "sched/validator.h"
 #include "sim/renewable.h"
@@ -28,6 +27,15 @@ const char* toString(Policy policy) {
     case Policy::kApprox: return "DSCT-EA-Approx";
     case Policy::kEdfNoCompression: return "EDF-NoCompression";
     case Policy::kEdfLevels: return "EDF-3CompressionLevels";
+  }
+  return "unknown";
+}
+
+const char* policyName(Policy policy) {
+  switch (policy) {
+    case Policy::kApprox: return "approx";
+    case Policy::kEdfNoCompression: return "edf";
+    case Policy::kEdfLevels: return "edf3";
   }
   return "unknown";
 }
@@ -48,30 +56,20 @@ const char* toString(IncidentKind kind) {
 
 namespace {
 
-IntegralSchedule schedule(Policy policy, const Instance& inst,
-                          ProfileCache* crossCache, ThreadPool* pool,
-                          bool parallelCachedEval) {
-  switch (policy) {
-    case Policy::kApprox: {
-      FrOptOptions options;
-      options.sharedCache = crossCache;
-      options.pool = pool;
-      options.parallelCachedEval = parallelCachedEval;
-      return solveApprox(inst, options).schedule;
-    }
-    case Policy::kEdfNoCompression:
-      return solveEdfNoCompression(inst).schedule;
-    case Policy::kEdfLevels:
-      return solveEdfLevels(inst).schedule;
-  }
-  DSCT_CHECK_MSG(false, "unknown policy");
-  return solveEdfNoCompression(inst).schedule;
+/// Resolve a solver name for serving and enforce the integral capability —
+/// the executor needs a task→machine assignment, not a fractional profile.
+const Solver& resolveServingSolver(const std::string& name) {
+  const Solver& solver = SolverRegistry::instance().resolve(name);
+  DSCT_CHECK_MSG(solver.capabilities().integral,
+                 "serving policy '" << name
+                                    << "' does not produce integral schedules");
+  return solver;
 }
 
 /// Shared driver core; `budgetFor(epochStart, epochEnd)` supplies each
 /// epoch's energy budget.
 ServingStats runServingImpl(
-    const std::vector<Machine>& machines, Policy policy,
+    const std::vector<Machine>& machines, const std::string& policy,
     const ServingOptions& options,
     const std::function<double(double, double)>& budgetFor) {
   DSCT_CHECK(!machines.empty());
@@ -111,32 +109,59 @@ ServingStats runServingImpl(
                                   options.horizonSeconds, numEpochs,
                                   options.faults);
   }
-  // The fallback chain (try primary → validate → fall back to kEdfLevels)
+  // The fallback chain (try primary → validate → walk options.fallbackChain)
   // runs only when some guard is active; otherwise scheduling is a single
   // unguarded call exactly as before.
   const bool guarded = options.faults.enabled || options.validateEpochs ||
                        options.epochTimeLimitSeconds > 0.0;
+
+  // Resolve the primary policy and the fallback chain through the solver
+  // registry up front, so a typo fails the run at epoch 0 rather than at the
+  // first faulty epoch.
+  const Solver& primary = resolveServingSolver(policy);
+  std::vector<const Solver*> chain;
+  chain.reserve(options.fallbackChain.size());
+  for (const std::string& name : options.fallbackChain) {
+    chain.push_back(&resolveServingSolver(name));
+  }
+
+  // Cache/pool demand is capability-driven: the chain only contributes in
+  // guarded runs (it is never consulted otherwise), which keeps unguarded
+  // runs bit-identical to the pre-registry driver for every policy.
+  bool wantsCache = primary.capabilities().usesProfileCache;
+  bool wantsPool = primary.capabilities().usesThreadPool;
+  if (guarded) {
+    for (const Solver* fb : chain) {
+      wantsCache = wantsCache || fb->capabilities().usesProfileCache;
+      wantsPool = wantsPool || fb->capabilities().usesThreadPool;
+    }
+  }
 
   // Cross-solve evaluation cache carried across epochs. Epochs with an
   // identical batch on an identical machine state (idle stretches, carried
   // backlog, fallback re-solves) reuse earlier FR-OPT evaluations instead of
   // solving cold; any change to the epoch instance changes the fingerprint.
   std::optional<ProfileCache> crossCache;
-  if (options.crossSolveCache && policy == Policy::kApprox) {
+  if (options.crossSolveCache && wantsCache) {
     crossCache.emplace();
   }
-  ProfileCache* crossCachePtr = crossCache ? &*crossCache : nullptr;
   // Worker pool for the parallel cached evaluation path, carried across the
   // run's epochs like the cache. Results are bit-identical with or without
   // it — the pool only changes where the work runs.
   std::unique_ptr<ThreadPool> solverPool;
-  if (options.parallelCachedEval && policy == Policy::kApprox) {
+  if (options.parallelCachedEval && wantsPool) {
     solverPool = std::make_unique<ThreadPool>(options.solverThreads);
   }
-  ThreadPool* solverPoolPtr = solverPool.get();
-  const auto scheduleEpoch = [&](Policy p, const Instance& inst) {
-    return schedule(p, inst, crossCachePtr, solverPoolPtr,
-                    options.parallelCachedEval);
+  SolveContext solveCtx;
+  solveCtx.frOpt.sharedCache = crossCache ? &*crossCache : nullptr;
+  solveCtx.frOpt.pool = solverPool.get();
+  solveCtx.frOpt.parallelCachedEval = options.parallelCachedEval;
+  const auto scheduleEpoch = [&](const Solver& solver, const Instance& inst) {
+    SolveOutcome outcome = solver.solve(inst, solveCtx);
+    DSCT_CHECK_MSG(outcome.schedule.has_value(),
+                   "solver '" << solver.name()
+                              << "' returned no integral schedule");
+    return std::move(*outcome.schedule);
   };
 
   // In-flight requests. Without backlog carry-over a request lives for one
@@ -318,34 +343,41 @@ ServingStats runServingImpl(
     }
     Instance inst(tasks, instMachines, budget);
 
-    // Schedule the epoch. Guarded mode wraps the primary policy in a
-    // fallback chain: exception / injected failure / wall-clock timeout /
-    // validator rejection each demote the epoch to kEdfLevels, and if the
-    // fallback is rejected too the epoch serves an empty schedule rather
-    // than executing an infeasible one.
+    // Schedule the epoch. Guarded mode wraps the primary policy in the
+    // configurable fallback chain: exception / injected failure / wall-clock
+    // timeout / validator rejection each demote the epoch to the next chain
+    // entry, and if every entry is rejected too the epoch serves an empty
+    // schedule rather than executing an infeasible one.
     const IntegralSchedule sched = [&]() -> IntegralSchedule {
-      if (!guarded) return scheduleEpoch(policy, inst);
+      if (!guarded) return scheduleEpoch(primary, inst);
+      // depth 0 = the primary policy, depth k = the k-th fallback attempt.
+      // Injected failures fail every attempt below the trace's
+      // injectFailureDepth (default 1: primary only, the pre-chain
+      // semantics); real exceptions keep the historical log shape and are
+      // recorded for the primary only. Timeouts guard the primary only —
+      // a slow fallback is still better than an empty epoch.
       const auto attempt =
-          [&](Policy p, bool primary) -> std::optional<IntegralSchedule> {
-        if (primary && faults.policyFailureInjected(epoch)) {
+          [&](const Solver& solver, int depth) -> std::optional<IntegralSchedule> {
+        if (faults.policyFailureInjected(epoch) &&
+            depth < faults.injectFailureDepth()) {
           ++stats.policyFailures;
-          stats.incidents.push_back(
-              {epoch, IncidentKind::kPolicyFailure, 0.0});
+          stats.incidents.push_back({epoch, IncidentKind::kPolicyFailure,
+                                     static_cast<double>(depth)});
           return std::nullopt;
         }
         Stopwatch watch;
         std::optional<IntegralSchedule> s;
         try {
-          s = scheduleEpoch(p, inst);
+          s = scheduleEpoch(solver, inst);
         } catch (const std::exception&) {
-          if (primary) {
+          if (depth == 0) {
             ++stats.policyFailures;
             stats.incidents.push_back(
                 {epoch, IncidentKind::kPolicyFailure, 0.0});
           }
           return std::nullopt;
         }
-        if (primary && options.epochTimeLimitSeconds > 0.0 &&
+        if (depth == 0 && options.epochTimeLimitSeconds > 0.0 &&
             watch.elapsedSeconds() > options.epochTimeLimitSeconds) {
           ++stats.policyFailures;
           stats.incidents.push_back(
@@ -360,13 +392,21 @@ ServingStats runServingImpl(
         }
         return s;
       };
-      std::optional<IntegralSchedule> s = attempt(policy, true);
-      if (!s.has_value() && policy != Policy::kEdfLevels) {
-        s = attempt(Policy::kEdfLevels, false);
-        if (s.has_value()) {
-          ++stats.fallbacks;
-          stats.incidents.push_back(
-              {epoch, IncidentKind::kFallbackEngaged, 0.0});
+      std::optional<IntegralSchedule> s = attempt(primary, 0);
+      if (!s.has_value()) {
+        int depth = 1;
+        for (const Solver* fb : chain) {
+          // A chain entry equal to the primary would just repeat the failed
+          // attempt; skip it (this reproduces the historical "edf3 does not
+          // fall back to itself" rule under the default chain).
+          if (fb == &primary) continue;
+          s = attempt(*fb, depth++);
+          if (s.has_value()) {
+            ++stats.fallbacks;
+            stats.incidents.push_back(
+                {epoch, IncidentKind::kFallbackEngaged, 0.0});
+            break;
+          }
         }
       }
       if (!s.has_value()) {
@@ -431,20 +471,33 @@ ServingStats runServingImpl(
 
 }  // namespace
 
-ServingStats runServing(const std::vector<Machine>& machines, Policy policy,
+ServingStats runServing(const std::vector<Machine>& machines,
+                        const std::string& policy,
                         const ServingOptions& options) {
   return runServingImpl(machines, policy, options, [&options](double, double) {
     return options.energyBudgetPerEpoch;
   });
 }
 
-ServingStats runServing(const std::vector<Machine>& machines, Policy policy,
+ServingStats runServing(const std::vector<Machine>& machines,
+                        const std::string& policy,
                         const ServingOptions& options,
                         const PowerTrace& supply) {
   return runServingImpl(machines, policy, options,
                         [&supply](double epochStart, double epochEnd) {
                           return supply.energyBetween(epochStart, epochEnd);
                         });
+}
+
+ServingStats runServing(const std::vector<Machine>& machines, Policy policy,
+                        const ServingOptions& options) {
+  return runServing(machines, std::string(policyName(policy)), options);
+}
+
+ServingStats runServing(const std::vector<Machine>& machines, Policy policy,
+                        const ServingOptions& options,
+                        const PowerTrace& supply) {
+  return runServing(machines, std::string(policyName(policy)), options, supply);
 }
 
 }  // namespace dsct::sim

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "sched/types.h"
@@ -17,6 +18,9 @@
 
 namespace dsct::sim {
 
+/// Legacy policy selector; each value maps onto a registry solver name via
+/// policyName(). New policies need no enum entry — pass any registered,
+/// integral-capable solver name to the string overloads of runServing.
 enum class Policy {
   kApprox,            ///< DSCT-EA-APPROX (the paper's algorithm)
   kEdfNoCompression,  ///< EDF, full models only
@@ -24,6 +28,8 @@ enum class Policy {
 };
 
 const char* toString(Policy policy);
+/// Registry name of the solver backing `policy` ("approx", "edf", "edf3").
+const char* policyName(Policy policy);
 
 struct ServingOptions {
   double arrivalRatePerSecond = 20.0;
@@ -62,9 +68,18 @@ struct ServingOptions {
   /// default) disables shedding.
   double admissionLoadFactor = 0.0;
   /// Per-epoch wall-clock limit for the primary policy (s); when exceeded
-  /// the epoch falls back to kEdfLevels. <= 0 (default) disables the check
-  /// — it is wall-clock based and therefore not replay-deterministic.
+  /// the epoch falls back to the fallback chain. <= 0 (default) disables the
+  /// check — it is wall-clock based and therefore not replay-deterministic.
   double epochTimeLimitSeconds = 0.0;
+  /// Ordered fallback chain, as solver-registry names: when the primary
+  /// policy fails (throw, injected failure, timeout, validator rejection) in
+  /// a guarded run, each chain entry is attempted in order — skipping
+  /// entries equal to the primary — and the first feasible schedule serves
+  /// the epoch; if every entry fails the epoch serves an empty schedule.
+  /// The default single-entry chain reproduces the historical hardcoded
+  /// EDF-3-levels demotion bit-identically. Every entry must name a
+  /// registered solver with the `integral` capability.
+  std::vector<std::string> fallbackChain{"edf3"};
   /// Run the feasibility validator on every epoch's schedule and fall back
   /// when it rejects. Implied by faults.enabled; off by default to keep the
   /// default path bit-identical to the pre-fault driver.
@@ -89,11 +104,11 @@ struct ServingOptions {
 
 /// One line of the per-epoch incident log.
 enum class IncidentKind {
-  kPolicyFailure,     ///< primary policy threw (or failure was injected)
+  kPolicyFailure,     ///< a scheduling attempt threw (or failure was injected)
   kPolicyTimeout,     ///< primary policy exceeded epochTimeLimitSeconds
   kValidatorReject,   ///< a schedule failed the feasibility validator
-  kFallbackEngaged,   ///< epoch served by the kEdfLevels fallback
-  kEmptySchedule,     ///< fallback also failed; epoch served nothing
+  kFallbackEngaged,   ///< epoch served by a fallback-chain entry
+  kEmptySchedule,     ///< the whole chain failed; epoch served nothing
   kNoAliveMachines,   ///< every machine was down at the epoch boundary
   kBudgetShock,       ///< epoch budget scaled by the shock factor
   kAdmissionShed,     ///< requests shed by admission control
@@ -105,7 +120,8 @@ struct EpochIncident {
   long long epoch = 0;
   IncidentKind kind = IncidentKind::kPolicyFailure;
   /// Kind-specific payload: shock factor for kBudgetShock, shed count for
-  /// kAdmissionShed, 0 otherwise.
+  /// kAdmissionShed, attempt depth for kPolicyFailure (0 = primary policy,
+  /// k > 0 = k-th fallback attempt), 0 otherwise.
   double value = 0.0;
 
   bool operator==(const EpochIncident&) const = default;
@@ -144,6 +160,13 @@ struct ServingStats {
 ServingStats runServing(const std::vector<Machine>& machines, Policy policy,
                         const ServingOptions& options);
 
+/// Registry-name overload: `policy` may be any solver registered in
+/// core/solver_registry.h that has the `integral` capability ("approx",
+/// "edf", "edf3", "levels-opt", "mip-warm", ... — see `dsct_cli solvers`).
+ServingStats runServing(const std::vector<Machine>& machines,
+                        const std::string& policy,
+                        const ServingOptions& options);
+
 class PowerTrace;
 
 /// Renewable-powered serving (paper Section 7, future work): each epoch's
@@ -152,6 +175,11 @@ class PowerTrace;
 /// a batteryless deployment; adding storage is a one-line change in the
 /// budget accounting and deliberately left to the caller.
 ServingStats runServing(const std::vector<Machine>& machines, Policy policy,
+                        const ServingOptions& options,
+                        const PowerTrace& supply);
+
+ServingStats runServing(const std::vector<Machine>& machines,
+                        const std::string& policy,
                         const ServingOptions& options,
                         const PowerTrace& supply);
 

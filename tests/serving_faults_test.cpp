@@ -2,6 +2,8 @@
 // fault replay, crash/shock recovery, fallback chain, admission control.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/faults.h"
@@ -267,6 +269,133 @@ TEST(FaultServing, ValidatedEpochsMatchUnguardedRun) {
   options.validateEpochs = true;
   const auto gated = sim::runServing(machines, sim::Policy::kApprox, options);
   expectStatsEqual(plain, gated);
+}
+
+// -------------------------------------------------------- fallback chain --
+
+TEST(FallbackChain, StringPolicyOverloadMatchesEnum) {
+  // The registry-name overload is the same driver: enum and string spellings
+  // of every legacy policy must agree bit for bit, faulty or not.
+  const auto machines = machinesFromCatalog({"T4", "V100"});
+  const std::pair<sim::Policy, const char*> policies[] = {
+      {sim::Policy::kApprox, "approx"},
+      {sim::Policy::kEdfNoCompression, "edf"},
+      {sim::Policy::kEdfLevels, "edf3"},
+  };
+  for (const auto& [policy, name] : policies) {
+    EXPECT_STREQ(sim::policyName(policy), name);
+    expectStatsEqual(
+        sim::runServing(machines, policy, referenceOptions()),
+        sim::runServing(machines, std::string(name), referenceOptions()));
+    expectStatsEqual(
+        sim::runServing(machines, policy, faultyOptions()),
+        sim::runServing(machines, std::string(name), faultyOptions()));
+  }
+}
+
+TEST(FallbackChain, ExplicitDefaultChainBitIdenticalToDefault) {
+  // Spelling out the default single-entry chain changes nothing: the
+  // refactor's configurable chain reproduces the historical hardcoded
+  // EDF-3-levels demotion exactly.
+  const auto machines = machinesFromCatalog({"T4", "V100", "P100"});
+  auto explicitChain = faultyOptions();
+  explicitChain.fallbackChain = {"edf3"};
+  expectStatsEqual(
+      sim::runServing(machines, sim::Policy::kApprox, faultyOptions()),
+      sim::runServing(machines, sim::Policy::kApprox, explicitChain));
+}
+
+TEST(FallbackChain, TwoEntryChainIncidentOrderPinned) {
+  // Primary and first fallback are both fault-injected (injectFailureDepth
+  // = 2), so each injected epoch must walk: approx fails (depth 0) → edf
+  // fails (depth 1) → edf3 serves → fallback engaged. The second fallback's
+  // schedules are what a single-entry {"edf3"} chain with primary-only
+  // injection produces, so the served workload is bit-identical to that run
+  // even though the incident log is longer.
+  const auto machines = machinesFromCatalog({"T4", "V100"});
+  const std::vector<long long> injected = {2, 5};
+
+  auto deep = referenceOptions();
+  deep.faults.enabled = true;
+  deep.faults.injectPolicyFailureEpochs = injected;
+  deep.faults.injectFailureDepth = 2;
+  deep.fallbackChain = {"edf", "edf3"};
+  const auto a = sim::runServing(machines, std::string("approx"), deep);
+
+  auto shallow = referenceOptions();
+  shallow.faults.enabled = true;
+  shallow.faults.injectPolicyFailureEpochs = injected;
+  const auto b = sim::runServing(machines, std::string("approx"), shallow);
+
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.served, b.served);
+  EXPECT_DOUBLE_EQ(a.meanAccuracy, b.meanAccuracy);
+  EXPECT_DOUBLE_EQ(a.totalEnergy, b.totalEnergy);
+  EXPECT_DOUBLE_EQ(a.meanLatency, b.meanLatency);
+  EXPECT_EQ(a.fallbacks, b.fallbacks);
+  // ...but the deep run logged one extra failed attempt per injected epoch.
+  EXPECT_EQ(b.policyFailures, static_cast<int>(injected.size()));
+  EXPECT_EQ(a.policyFailures, 2 * static_cast<int>(injected.size()));
+
+  for (long long epoch : injected) {
+    std::vector<sim::EpochIncident> atEpoch;
+    for (const auto& inc : a.incidents) {
+      if (inc.epoch == epoch) atEpoch.push_back(inc);
+    }
+    SCOPED_TRACE("epoch " + std::to_string(epoch));
+    ASSERT_EQ(atEpoch.size(), 3u);
+    EXPECT_EQ(atEpoch[0].kind, sim::IncidentKind::kPolicyFailure);
+    EXPECT_EQ(atEpoch[0].value, 0.0);  // the primary policy
+    EXPECT_EQ(atEpoch[1].kind, sim::IncidentKind::kPolicyFailure);
+    EXPECT_EQ(atEpoch[1].value, 1.0);  // first fallback attempt
+    EXPECT_EQ(atEpoch[2].kind, sim::IncidentKind::kFallbackEngaged);
+  }
+}
+
+TEST(FallbackChain, ExhaustedChainServesEmptyEpoch) {
+  // Injection depth covering the whole chain leaves only the empty
+  // schedule; the epoch serves nothing but the run completes.
+  const auto machines = machinesFromCatalog({"T4"});
+  auto options = referenceOptions();
+  options.faults.enabled = true;
+  options.faults.injectPolicyFailureEpochs = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  options.faults.injectFailureDepth = 3;
+  options.fallbackChain = {"edf", "edf3"};
+  const auto s = sim::runServing(machines, std::string("approx"), options);
+  EXPECT_EQ(s.served, 0);
+  EXPECT_EQ(s.policyFailures, 3 * s.epochs);
+  int empty = 0;
+  for (const auto& inc : s.incidents) {
+    if (inc.kind == sim::IncidentKind::kEmptySchedule) ++empty;
+  }
+  EXPECT_EQ(empty, s.epochs);
+}
+
+TEST(FallbackChain, InvalidChainEntriesFailLoudly) {
+  const auto machines = machinesFromCatalog({"T4"});
+  auto options = referenceOptions();
+  options.faults.enabled = true;
+  options.fallbackChain = {"no-such-solver"};
+  EXPECT_THROW(sim::runServing(machines, sim::Policy::kApprox, options),
+               CheckError);
+  // Fractional-only solvers cannot serve epochs.
+  options.fallbackChain = {"fr-opt"};
+  EXPECT_THROW(sim::runServing(machines, sim::Policy::kApprox, options),
+               CheckError);
+  options.fallbackChain = {"edf3"};
+  EXPECT_THROW(
+      sim::runServing(machines, std::string("fr-opt"), options),
+      CheckError);
+}
+
+TEST(FallbackChain, RegistryPolicyBeyondLegacyEnumServes) {
+  // The registry unlocks serving policies with no Policy enum value.
+  const auto machines = machinesFromCatalog({"T4", "V100"});
+  const auto s = sim::runServing(machines, std::string("levels-opt"),
+                                 referenceOptions());
+  EXPECT_EQ(s.requests, 99);
+  EXPECT_GT(s.served, 0);
+  EXPECT_GT(s.meanAccuracy, 0.0);
 }
 
 TEST(FaultServing, WorksWithRenewableSupply) {

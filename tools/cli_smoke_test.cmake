@@ -1,14 +1,24 @@
-# Smoke test for dsct_cli: generate → solve → validate → simulate → serve.
+# Smoke test for dsct_cli: solvers → generate → solve → validate → simulate
+# → serve.
 function(run_step)
   execute_process(COMMAND ${ARGV} RESULT_VARIABLE code OUTPUT_VARIABLE out
                   ERROR_VARIABLE err)
   if(NOT code EQUAL 0)
     message(FATAL_ERROR "step failed (${code}): ${ARGV}\n${out}\n${err}")
   endif()
+  set(last_out "${out}" PARENT_SCOPE)
 endfunction()
 
 set(inst ${WORKDIR}/cli_instance.txt)
 set(sched ${WORKDIR}/cli_schedule.txt)
+
+# The registry listing must name every builtin solver.
+run_step(${CLI} solvers)
+foreach(solver approx fr-opt edf edf3 levels-opt mip-warm mip-cold fr-lp)
+  if(NOT last_out MATCHES "${solver}")
+    message(FATAL_ERROR "`solvers` output misses '${solver}':\n${last_out}")
+  endif()
+endforeach()
 
 run_step(${CLI} generate --tasks 8 --machines 2 --seed 7 --out ${inst})
 run_step(${CLI} solve ${inst} --algo approx --out ${sched})
@@ -16,12 +26,20 @@ run_step(${CLI} validate ${inst} ${sched})
 run_step(${CLI} simulate ${inst} ${sched})
 run_step(${CLI} solve ${inst} --algo edf)
 run_step(${CLI} solve ${inst} --algo edf3)
+run_step(${CLI} solve ${inst} --algo levels-opt)
+run_step(${CLI} solve ${inst} --algo fr-opt)
+# Aliases resolve through the registry exactly like primary names.
 run_step(${CLI} solve ${inst} --algo frlp)
+run_step(${CLI} solve ${inst} --algo dsct-ea-approx)
 run_step(${CLI} solve ${inst} --algo mip --time-limit 10)
+run_step(${CLI} solve ${inst} --algo mip-cold --time-limit 10)
 run_step(${CLI} info ${inst} --tasks)
-# Serving loop: fault-free, then with the full fault model engaged.
+# Serving loop: fault-free, then with the full fault model engaged, then a
+# registry policy with an explicit two-entry fallback chain.
 run_step(${CLI} serve --policy approx --horizon 2 --backlog)
 run_step(${CLI} serve --policy approx --horizon 2 --backlog --faults
          --fault-seed 99 --mtbf 1.5 --mttr 0.8 --slow-mtbf 3 --slow-mean 0.5
          --slow-factor 0.5 --shock-prob 0.4 --shock-factor 0.3
          --max-retries 2 --load-factor 8 --incidents)
+run_step(${CLI} serve --policy levels-opt --fallback edf,edf3 --horizon 2
+         --faults --fault-seed 99 --mtbf 1.5 --mttr 0.8 --incidents)

@@ -1,18 +1,24 @@
 // dsct command-line tool.
 //
+//   dsct_cli solvers
 //   dsct_cli generate --tasks N --machines M [--rho R] [--beta B]
 //            [--theta-min T] [--theta-max T] [--seed S] --out FILE
-//   dsct_cli solve INSTANCE [--algo approx|edf|edf3|frlp|mip]
-//            [--time-limit SEC] [--out SCHEDULE]
+//   dsct_cli solve INSTANCE [--algo NAME] [--time-limit SEC]
+//            [--out SCHEDULE]
 //   dsct_cli info INSTANCE [--tasks]
 //   dsct_cli validate INSTANCE SCHEDULE
 //   dsct_cli simulate INSTANCE SCHEDULE [--trace]
-//   dsct_cli serve [--policy approx|edf|edf3] [--gpus T4,V100] [--rate R]
-//            [--horizon S] [--epoch S] [--budget J] [--seed N] [--backlog]
-//            [--load-factor F] [--faults] [--fault-seed N] [--mtbf S]
-//            [--mttr S] [--slow-mtbf S] [--slow-mean S] [--slow-factor F]
+//   dsct_cli serve [--policy NAME] [--fallback NAME,NAME,...]
+//            [--gpus T4,V100] [--rate R] [--horizon S] [--epoch S]
+//            [--budget J] [--seed N] [--backlog] [--load-factor F]
+//            [--faults] [--fault-seed N] [--mtbf S] [--mttr S]
+//            [--slow-mtbf S] [--slow-mean S] [--slow-factor F]
 //            [--shock-prob P] [--shock-factor F] [--max-retries N]
 //            [--incidents]
+//
+// `--algo` and `--policy` accept any name or alias from the solver registry
+// (run `dsct_cli solvers` for the list); `--policy` and `--fallback` are
+// restricted to solvers with the integral capability.
 //
 // Exit code 0 on success (and, for `validate`, a feasible schedule);
 // 1 on usage errors, 2 on infeasibility.
@@ -69,20 +75,61 @@ Args parseArgs(int argc, char** argv) {
 int usage() {
   std::cerr <<
       "usage:\n"
+      "  dsct_cli solvers\n"
       "  dsct_cli generate --tasks N --machines M [--rho R] [--beta B]\n"
       "           [--theta-min T] [--theta-max T] [--seed S] --out FILE\n"
-      "  dsct_cli solve INSTANCE [--algo approx|edf|edf3|frlp|mip]\n"
-      "           [--time-limit SEC] [--out SCHEDULE] [--gantt]\n"
+      "  dsct_cli solve INSTANCE [--algo NAME] [--time-limit SEC]\n"
+      "           [--out SCHEDULE] [--gantt]\n"
       "  dsct_cli info INSTANCE [--tasks]\n"
       "  dsct_cli validate INSTANCE SCHEDULE\n"
       "  dsct_cli simulate INSTANCE SCHEDULE [--trace]\n"
-      "  dsct_cli serve [--policy approx|edf|edf3] [--gpus T4,V100]\n"
-      "           [--rate R] [--horizon S] [--epoch S] [--budget J]\n"
-      "           [--seed N] [--backlog] [--load-factor F] [--faults]\n"
-      "           [--fault-seed N] [--mtbf S] [--mttr S] [--slow-mtbf S]\n"
-      "           [--slow-mean S] [--slow-factor F] [--shock-prob P]\n"
-      "           [--shock-factor F] [--max-retries N] [--incidents]\n";
+      "  dsct_cli serve [--policy NAME] [--fallback NAME,NAME,...]\n"
+      "           [--gpus T4,V100] [--rate R] [--horizon S] [--epoch S]\n"
+      "           [--budget J] [--seed N] [--backlog] [--load-factor F]\n"
+      "           [--faults] [--fault-seed N] [--mtbf S] [--mttr S]\n"
+      "           [--slow-mtbf S] [--slow-mean S] [--slow-factor F]\n"
+      "           [--shock-prob P] [--shock-factor F] [--max-retries N]\n"
+      "           [--incidents]\n"
+      "\n"
+      "NAME is any solver name or alias from `dsct_cli solvers`.\n";
   return 1;
+}
+
+/// Comma-separated list → vector of non-empty entries.
+std::vector<std::string> splitList(const std::string& list) {
+  std::vector<std::string> out;
+  std::stringstream stream(list);
+  for (std::string item; std::getline(stream, item, ',');) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+int cmdSolvers(const Args&) {
+  Table table({"name", "aliases", "algorithm", "schedules", "capabilities"});
+  for (const Solver* solver : SolverRegistry::instance().solvers()) {
+    const SolverCapabilities caps = solver->capabilities();
+    std::string aliases;
+    for (const std::string& alias :
+         SolverRegistry::instance().aliasesOf(solver->name())) {
+      if (!aliases.empty()) aliases += ", ";
+      aliases += alias;
+    }
+    std::string schedules;
+    if (caps.integral) schedules = "integral";
+    if (caps.fractional)
+      schedules += schedules.empty() ? "fractional" : "+fractional";
+    std::string flags;
+    if (caps.exact) flags += "exact ";
+    if (caps.usesProfileCache) flags += "cache ";
+    if (caps.usesThreadPool) flags += "pool ";
+    if (!caps.deterministic) flags += "nondeterministic ";
+    if (!flags.empty()) flags.pop_back();
+    table.addRow({solver->name(), aliases.empty() ? "-" : aliases,
+                  solver->displayName(), schedules, flags.empty() ? "-" : flags});
+  }
+  table.print(std::cout);
+  return 0;
 }
 
 int cmdGenerate(const Args& args) {
@@ -120,43 +167,41 @@ int cmdSolve(const Args& args) {
   if (args.positional.empty()) return usage();
   const Instance inst = io::readInstanceFile(args.positional[0]);
   const std::string algo = args.get("algo", "approx");
-  std::optional<IntegralSchedule> schedule;
-  if (algo == "approx") {
-    ApproxResult res = solveApprox(inst);
-    std::cout << "upper bound    : " << res.upperBound << '\n'
-              << "guarantee G    : " << res.guarantee.g << '\n';
-    schedule = std::move(res.schedule);
-  } else if (algo == "edf") {
-    schedule = solveEdfNoCompression(inst).schedule;
-  } else if (algo == "edf3") {
-    schedule = solveEdfLevels(inst).schedule;
-  } else if (algo == "frlp") {
-    const DsctLp lpModel = buildFractionalLp(inst);
-    lp::LpOptions options;
-    options.timeLimitSeconds = args.getDouble("time-limit", -1.0);
-    const lp::LpResult res = lp::solveLp(lpModel.model, options);
-    std::cout << "LP status      : " << lp::toString(res.status) << '\n'
-              << "LP objective   : " << res.objective << '\n';
-    return res.status == lp::SolveStatus::kOptimal ? 0 : 2;
-  } else if (algo == "mip") {
-    lp::MipOptions options;
-    options.timeLimitSeconds = args.getDouble("time-limit", 60.0);
-    const ApproxResult warm = solveApprox(inst);
-    const MipSolveSummary summary = solveDsctMip(inst, options, &warm.schedule);
-    std::cout << "MIP status     : " << lp::toString(summary.result.status)
-              << " (nodes " << summary.result.nodes << ", bound "
-              << summary.result.bestBound << ")\n";
-    if (!summary.schedule.has_value()) return 2;
-    schedule = *summary.schedule;
-  } else {
+  const Solver* solver = SolverRegistry::instance().find(algo);
+  if (solver == nullptr) {
+    std::cerr << "unknown solver '" << algo
+              << "' — run `dsct_cli solvers` for the list\n";
     return usage();
   }
-  printSummary(inst, *schedule, algo);
+  SolveContext context;
+  context.mip.timeLimitSeconds = args.getDouble("time-limit", 60.0);
+  context.lp.timeLimitSeconds = args.getDouble("time-limit", -1.0);
+  const SolveOutcome outcome = solver->solve(inst, context);
+  if (!outcome.solved()) {
+    std::cout << "status         : no solution within limits\n";
+    return 2;
+  }
+  if (outcome.upperBound > 0.0) {
+    std::cout << "upper bound    : " << outcome.upperBound << '\n';
+  }
+  if (outcome.guaranteeG > 0.0) {
+    std::cout << "guarantee G    : " << outcome.guaranteeG << '\n';
+  }
+  if (!outcome.schedule.has_value()) {
+    // Fractional-only solver: report the relaxation objective; there is no
+    // integral schedule to validate, render, or persist.
+    std::cout << "algorithm      : " << solver->displayName() << '\n'
+              << "objective      : " << outcome.totalAccuracy << '\n'
+              << "energy         : " << outcome.energy << " / "
+              << inst.energyBudget() << " J\n";
+    return 0;
+  }
+  printSummary(inst, *outcome.schedule, solver->name());
   if (args.has("gantt")) {
-    std::cout << '\n' << renderGantt(inst, *schedule);
+    std::cout << '\n' << renderGantt(inst, *outcome.schedule);
   }
   if (args.has("out")) {
-    io::writeScheduleFile(args.get("out", ""), *schedule);
+    io::writeScheduleFile(args.get("out", ""), *outcome.schedule);
     std::cout << "schedule       : written to " << args.get("out", "") << '\n';
   }
   return 0;
@@ -219,26 +264,21 @@ int cmdSimulate(const Args& args) {
 }
 
 int cmdServe(const Args& args) {
-  const std::string policyName = args.get("policy", "approx");
-  sim::Policy policy;
-  if (policyName == "approx") {
-    policy = sim::Policy::kApprox;
-  } else if (policyName == "edf") {
-    policy = sim::Policy::kEdfNoCompression;
-  } else if (policyName == "edf3") {
-    policy = sim::Policy::kEdfLevels;
-  } else {
+  const std::string policy = args.get("policy", "approx");
+  const Solver* primary = SolverRegistry::instance().find(policy);
+  if (primary == nullptr || !primary->capabilities().integral) {
+    std::cerr << "unknown or non-integral serving policy '" << policy
+              << "' — run `dsct_cli solvers` for the list\n";
     return usage();
   }
 
-  std::vector<std::string> gpus;
-  std::stringstream list(args.get("gpus", "T4,V100"));
-  for (std::string name; std::getline(list, name, ',');) {
-    if (!name.empty()) gpus.push_back(name);
-  }
-  const std::vector<Machine> machines = machinesFromCatalog(gpus);
+  const std::vector<Machine> machines =
+      machinesFromCatalog(splitList(args.get("gpus", "T4,V100")));
 
   sim::ServingOptions options;
+  if (args.has("fallback")) {
+    options.fallbackChain = splitList(args.get("fallback", ""));
+  }
   options.arrivalRatePerSecond = args.getDouble("rate", 18.0);
   options.horizonSeconds = args.getDouble("horizon", 5.0);
   options.epochSeconds = args.getDouble("epoch", 0.5);
@@ -259,7 +299,7 @@ int cmdServe(const Args& args) {
   options.faults.maxRetries = args.getInt("max-retries", 2);
 
   const sim::ServingStats s = sim::runServing(machines, policy, options);
-  std::cout << "policy         : " << toString(policy) << '\n'
+  std::cout << "policy         : " << primary->displayName() << '\n'
             << "requests       : " << s.requests << " (" << s.served
             << " served over " << s.epochs << " epochs)\n"
             << "mean accuracy  : " << s.meanAccuracy << '\n'
@@ -292,6 +332,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const Args args = parseArgs(argc, argv);
   try {
+    if (command == "solvers") return cmdSolvers(args);
     if (command == "generate") return cmdGenerate(args);
     if (command == "info") return cmdInfo(args);
     if (command == "solve") return cmdSolve(args);
