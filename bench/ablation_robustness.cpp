@@ -18,6 +18,7 @@
 #include "bench/bench_common.h"
 #include "experiments/runner.h"
 #include "sim/cluster.h"
+#include "util/cancel.h"
 #include "util/csv.h"
 #include "util/rng.h"
 #include "util/table.h"
@@ -64,6 +65,12 @@ int main() {
   const std::vector<double> sigmas{0.0, 0.1, 0.25, 0.5, 0.75};
 
   ExperimentRunner runner;
+  // Generous cooperative-cancellation guard on every solve in the sweep: the
+  // token never expires at this scale (the solves take microseconds), so the
+  // numbers are untouched, but a pathological instance would stop the bench
+  // with a cancelled solve instead of hanging it.
+  const CancelToken solveGuard(300.0);
+  runner.context().cancel = &solveGuard;
   Table table({"sigma", "true-theta accuracy", "noisy-theta accuracy",
                "degradation %", "noisy misses", "noisy energy J"});
   CsvWriter csv("ablation_robustness.csv",

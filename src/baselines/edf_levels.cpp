@@ -18,7 +18,12 @@ BaselineResult solveEdfLevels(const Instance& inst,
   std::vector<int> machineOf(static_cast<std::size_t>(n), -1);
   std::vector<double> duration(static_cast<std::size_t>(n), 0.0);
 
+  bool cancelled = false;
   for (int j = 0; j < n; ++j) {
+    if (stopRequested(options.cancel)) {
+      cancelled = true;
+      break;  // remaining tasks stay dropped at their floor accuracy
+    }
     const Task& task = inst.task(j);
     const std::vector<CompressionLevel> levels =
         levelsForTargets(task.accuracy, options.accuracyTargets);
@@ -74,6 +79,7 @@ BaselineResult solveEdfLevels(const Instance& inst,
   result.droppedTasks = n - result.scheduledTasks;
   result.totalAccuracy = result.schedule.totalAccuracy(inst);
   result.energy = result.schedule.energy(inst);
+  result.cancelled = cancelled;
   return result;
 }
 

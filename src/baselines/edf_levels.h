@@ -18,6 +18,8 @@ namespace dsct {
 struct EdfLevelsOptions {
   /// Accuracy targets defining the discrete levels (clamped per task).
   std::vector<double> accuracyTargets{0.27, 0.55, 0.82};
+  /// Cooperative stop token, polled per task; unplaced tasks stay dropped.
+  const CancelToken* cancel = nullptr;
 };
 
 BaselineResult solveEdfLevels(const Instance& inst,

@@ -4,7 +4,8 @@
 
 namespace dsct {
 
-BaselineResult solveEdfNoCompression(const Instance& inst) {
+BaselineResult solveEdfNoCompression(const Instance& inst,
+                                     const CancelToken* cancel) {
   const int n = inst.numTasks();
   const int m = inst.numMachines();
   std::vector<double> load(static_cast<std::size_t>(m), 0.0);
@@ -13,7 +14,12 @@ BaselineResult solveEdfNoCompression(const Instance& inst) {
   std::vector<int> machineOf(static_cast<std::size_t>(n), -1);
   std::vector<double> duration(static_cast<std::size_t>(n), 0.0);
 
+  bool cancelled = false;
   for (int j = 0; j < n; ++j) {
+    if (stopRequested(cancel)) {
+      cancelled = true;
+      break;  // remaining tasks stay dropped at their floor accuracy
+    }
     const Task& task = inst.task(j);
     int best = -1;
     double bestLoad = 0.0;
@@ -45,6 +51,7 @@ BaselineResult solveEdfNoCompression(const Instance& inst) {
   result.droppedTasks = n - result.scheduledTasks;
   result.totalAccuracy = result.schedule.totalAccuracy(inst);
   result.energy = result.schedule.energy(inst);
+  result.cancelled = cancelled;
   return result;
 }
 

@@ -8,6 +8,7 @@
 
 #include "sched/schedule.h"
 #include "sched/types.h"
+#include "util/cancel.h"
 
 namespace dsct {
 
@@ -17,8 +18,12 @@ struct BaselineResult {
   int droppedTasks = 0;
   double totalAccuracy = 0.0;
   double energy = 0.0;
+  /// True when the solve stopped early at a cancel-token poll point; the
+  /// schedule covers only the tasks placed so far (the rest are dropped).
+  bool cancelled = false;
 };
 
-BaselineResult solveEdfNoCompression(const Instance& inst);
+BaselineResult solveEdfNoCompression(const Instance& inst,
+                                     const CancelToken* cancel = nullptr);
 
 }  // namespace dsct

@@ -60,6 +60,7 @@ BaselineResult solveEdfLevelsOpt(const Instance& inst,
   const int n = inst.numTasks();
   const std::vector<LevelMenu> menus =
       buildLevelMenus(inst, options.accuracyTargets);
+  bool cancelled = false;
 
   // --- multiple-choice knapsack over the energy budget ---
   const double budget = inst.energyBudget();
@@ -91,6 +92,10 @@ BaselineResult solveEdfLevelsOpt(const Instance& inst,
       std::vector<int>(static_cast<std::size_t>(q) + 1, -1));
 
   for (int j = 0; j < n; ++j) {
+    if (stopRequested(options.cancel)) {
+      cancelled = true;
+      break;  // tasks the DP never reached keep choice -1 (dropped)
+    }
     const LevelMenu& menu = menus[static_cast<std::size_t>(j)];
     if (menu.machine < 0) continue;
     const double floor = inst.task(j).amin();
@@ -139,6 +144,7 @@ BaselineResult solveEdfLevelsOpt(const Instance& inst,
   result.droppedTasks = n - result.scheduledTasks;
   result.totalAccuracy = result.schedule.totalAccuracy(inst);
   result.energy = result.schedule.energy(inst);
+  result.cancelled = cancelled;
   return result;
 }
 

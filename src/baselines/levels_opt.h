@@ -22,6 +22,9 @@ struct EdfLevelsOptOptions {
   std::vector<double> accuracyTargets{0.27, 0.55, 0.82};
   /// Budget discretisation buckets for the knapsack DP.
   int budgetBuckets = 2048;
+  /// Cooperative stop token, polled per task in both the routing pass and
+  /// the knapsack DP; tasks the DP never reached stay dropped.
+  const CancelToken* cancel = nullptr;
 };
 
 /// The per-task level menu after routing: the machine the task would run

@@ -4,6 +4,14 @@
 
 namespace dsct {
 
+const char* toString(OutcomeStatus status) {
+  switch (status) {
+    case OutcomeStatus::kOk: return "ok";
+    case OutcomeStatus::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
 SolveOutcome Solver::solve(const Instance& inst,
                            const SolveContext& context) const {
   Stopwatch watch;

@@ -30,8 +30,18 @@
 #include "sched/types.h"
 #include "solver/mip.h"
 #include "solver/simplex.h"
+#include "util/cancel.h"
 
 namespace dsct {
+
+/// How a solve ended.
+enum class OutcomeStatus {
+  kOk,         ///< ran to its natural completion
+  kCancelled,  ///< stopped early at a cooperative poll point (deadline or
+               ///< explicit cancel); any returned schedule is partial work
+};
+
+const char* toString(OutcomeStatus status);
 
 /// What a solver produces and which SolveContext resources it honours.
 struct SolverCapabilities {
@@ -62,6 +72,11 @@ struct SolveContext {
   lp::MipOptions mip;
   /// Simplex options (time limit) for the fr-lp solver.
   lp::LpOptions lp;
+  /// Cooperative cancellation/deadline token, polled by every registered
+  /// solver at its iteration boundaries. Null means "never cancel". The
+  /// token must outlive the solve call (the serving loop keeps it alive
+  /// until the background future is drained).
+  const CancelToken* cancel = nullptr;
 };
 
 /// Normalized result of any solver: schedule(s), objective, energy, wall
@@ -95,8 +110,15 @@ struct SolveOutcome {
   /// all zero for solvers without that telemetry.
   FrOptCounters counters;
 
+  /// How the solve ended. kCancelled only when the solver actually
+  /// returned early from a poll point — a solve that completes just before
+  /// its deadline stays kOk even if the token expires afterwards.
+  OutcomeStatus status = OutcomeStatus::kOk;
+
   /// Did the solver produce any schedule at all?
   bool solved() const { return schedule.has_value() || fractional.has_value(); }
+  /// Was the solve stopped early by its CancelToken?
+  bool cancelled() const { return status == OutcomeStatus::kCancelled; }
 };
 
 /// The unified solver interface. Implementations are stateless (all mutable

@@ -46,18 +46,36 @@ class FunctionSolver final : public Solver {
 
 SolveOutcome fromBaseline(const Instance& inst, BaselineResult res) {
   SolveOutcome outcome;
+  if (res.cancelled) outcome.status = OutcomeStatus::kCancelled;
   outcome.schedule = std::move(res.schedule);
   fillFromIntegral(inst, outcome);
   return outcome;
 }
 
+/// Copy the context's FR-OPT option slice with the context-level token
+/// injected (an explicitly supplied option token wins).
+FrOptOptions frOptWithCancel(const SolveContext& context) {
+  FrOptOptions options = context.frOpt;
+  if (options.cancel == nullptr) options.cancel = context.cancel;
+  return options;
+}
+
 SolveOutcome solveMipOutcome(const Instance& inst, const SolveContext& context,
                              bool warmStart) {
+  bool cancelled = false;
   std::optional<ApproxResult> warm;
-  if (warmStart) warm = solveApprox(inst, context.frOpt);
+  if (warmStart) {
+    warm = solveApprox(inst, frOptWithCancel(context));
+    cancelled = warm->fractional.cancelled;
+  }
+  lp::MipOptions mipOptions = context.mip;
+  if (mipOptions.cancel == nullptr) mipOptions.cancel = context.cancel;
   const MipSolveSummary summary = solveDsctMip(
-      inst, context.mip, warm ? &warm->schedule : nullptr);
+      inst, mipOptions, warm ? &warm->schedule : nullptr);
   SolveOutcome outcome;
+  if (cancelled || summary.result.cancelled) {
+    outcome.status = OutcomeStatus::kCancelled;
+  }
   outcome.upperBound = summary.result.bestBound;
   if (summary.schedule.has_value()) {
     outcome.schedule = *summary.schedule;
@@ -146,8 +164,11 @@ SolverRegistry::SolverRegistry() {
   add(makeSolver(
           "approx", "DSCT-EA-Approx", approxCaps,
           [](const Instance& inst, const SolveContext& context) {
-            ApproxResult res = solveApprox(inst, context.frOpt);
+            ApproxResult res = solveApprox(inst, frOptWithCancel(context));
             SolveOutcome outcome;
+            if (res.fractional.cancelled) {
+              outcome.status = OutcomeStatus::kCancelled;
+            }
             outcome.counters = res.fractional.counters;
             outcome.fractional = std::move(res.fractional.schedule);
             outcome.schedule = std::move(res.schedule);
@@ -166,8 +187,9 @@ SolverRegistry::SolverRegistry() {
   add(makeSolver(
           "fr-opt", "DSCT-EA-FR-OPT", frOptCaps,
           [](const Instance& inst, const SolveContext& context) {
-            FrOptResult res = solveFrOpt(inst, context.frOpt);
+            FrOptResult res = solveFrOpt(inst, frOptWithCancel(context));
             SolveOutcome outcome;
+            if (res.cancelled) outcome.status = OutcomeStatus::kCancelled;
             outcome.counters = res.counters;
             outcome.fractional = std::move(res.schedule);
             fillFromFractional(inst, outcome);
@@ -180,20 +202,25 @@ SolverRegistry::SolverRegistry() {
       {"fropt"});
 
   add(makeSolver("edf", "EDF-NoCompression", SolverCapabilities{},
-                 [](const Instance& inst, const SolveContext&) {
-                   return fromBaseline(inst, solveEdfNoCompression(inst));
+                 [](const Instance& inst, const SolveContext& context) {
+                   return fromBaseline(
+                       inst, solveEdfNoCompression(inst, context.cancel));
                  }),
       {"edf-nocompress"});
 
   add(makeSolver("edf3", "EDF-3CompressionLevels", SolverCapabilities{},
-                 [](const Instance& inst, const SolveContext&) {
-                   return fromBaseline(inst, solveEdfLevels(inst));
+                 [](const Instance& inst, const SolveContext& context) {
+                   EdfLevelsOptions options;
+                   options.cancel = context.cancel;
+                   return fromBaseline(inst, solveEdfLevels(inst, options));
                  }),
       {"edf-levels"});
 
   add(makeSolver("levels-opt", "EDF-LevelsOpt", SolverCapabilities{},
-                 [](const Instance& inst, const SolveContext&) {
-                   return fromBaseline(inst, solveEdfLevelsOpt(inst));
+                 [](const Instance& inst, const SolveContext& context) {
+                   EdfLevelsOptOptions options;
+                   options.cancel = context.cancel;
+                   return fromBaseline(inst, solveEdfLevelsOpt(inst, options));
                  }),
       {"edf3-opt"});
 
@@ -222,8 +249,11 @@ SolverRegistry::SolverRegistry() {
           "fr-lp", "DSCT-EA-FR (LP via simplex)", frLpCaps,
           [](const Instance& inst, const SolveContext& context) {
             const DsctLp lpModel = buildFractionalLp(inst);
-            const lp::LpResult res = lp::solveLp(lpModel.model, context.lp);
+            lp::LpOptions lpOptions = context.lp;
+            if (lpOptions.cancel == nullptr) lpOptions.cancel = context.cancel;
+            const lp::LpResult res = lp::solveLp(lpModel.model, lpOptions);
             SolveOutcome outcome;
+            if (res.cancelled) outcome.status = OutcomeStatus::kCancelled;
             if (res.status == lp::SolveStatus::kOptimal) {
               outcome.fractional = extractFractional(inst, lpModel, res.x);
               fillFromFractional(inst, outcome);

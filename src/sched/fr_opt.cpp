@@ -190,7 +190,22 @@ FrOptResult solveFrOpt(const Instance& inst, const FrOptOptions& options) {
 
   NaiveSolution naive = computeNaiveSolution(inst);
   FrOptResult result{std::move(naive.schedule), std::move(naive.profile),
-                     {}, {}, {}, 0.0, 0.0};
+                     {}, {}, {}, 0.0, 0.0, false};
+
+  // Cooperative stop: polled at the outer rounds and inside the escape
+  // searches. Marks the result cancelled exactly when a poll fires, so a
+  // solve that runs to completion never reports cancellation.
+  const auto stopNow = [&]() {
+    if (stopRequested(options.cancel)) {
+      result.cancelled = true;
+      return true;
+    }
+    return false;
+  };
+
+  // Forward the token into RefineProfile's round loop.
+  RefineOptions refineOptions = options.refine;
+  if (refineOptions.cancel == nullptr) refineOptions.cancel = options.cancel;
 
   // Alternate three fixed-point steps until none improves:
   //  * expandProfile — spend leftover budget on additional parallel
@@ -230,6 +245,7 @@ FrOptResult solveFrOpt(const Instance& inst, const FrOptOptions& options) {
   const auto pairSearch = [&]() {
     bool improved = false;
     for (;;) {
+      if (stopNow()) break;
       const EnergyProfile loads = result.schedule.machineLoads();
       const std::optional<PairMove> move =
           bestPairMove(inst, evaluator, loads, currentAccuracy, pool);
@@ -254,6 +270,7 @@ FrOptResult solveFrOpt(const Instance& inst, const FrOptOptions& options) {
     bool improvedAny = false;
     EnergyProfile p = result.schedule.machineLoads();
     for (int iter = 0; iter < 24; ++iter) {
+      if (stopNow()) break;
       const double v0 = evaluator.cached(p);
       const double eps = std::max(1e-10, 1e-7 * horizon);
       // The 2m one-sided derivative probes are independent: batch them
@@ -357,6 +374,7 @@ FrOptResult solveFrOpt(const Instance& inst, const FrOptOptions& options) {
 
   double best = currentAccuracy;
   for (int round = 0; round < kMaxOuterRounds; ++round) {
+    if (stopNow()) break;
     ++result.counters.outerRounds;
 
     {
@@ -391,7 +409,7 @@ FrOptResult solveFrOpt(const Instance& inst, const FrOptOptions& options) {
     RefineStats stats;
     {
       const Stopwatch watch;
-      stats = refineProfile(inst, result.schedule, options.refine);
+      stats = refineProfile(inst, result.schedule, refineOptions);
       result.refineStats.rounds += stats.rounds;
       result.refineStats.transfers += stats.transfers;
       result.refineStats.energyMoved += stats.energyMoved;

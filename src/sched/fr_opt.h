@@ -72,6 +72,11 @@ struct FrOptOptions {
   /// contents stay bit-identical to the serial path
   /// (tests/sched_concurrent_cache_test.cpp).
   bool parallelCachedEval = false;
+  /// Cooperative stop token, polled at the outer fixed-point rounds and
+  /// inside the pair/direction escape searches (and forwarded to
+  /// RefineProfile's round loop). On early exit the incumbent schedule is
+  /// returned with `cancelled` set — it is feasible but may be suboptimal.
+  const CancelToken* cancel = nullptr;
 };
 
 struct FrOptResult {
@@ -82,6 +87,8 @@ struct FrOptResult {
   FrOptCounters counters;
   double totalAccuracy = 0.0;
   double energy = 0.0;  ///< Joules actually consumed
+  /// True when the solve stopped early at a cancel-token poll point.
+  bool cancelled = false;
 };
 
 FrOptResult solveFrOpt(const Instance& inst,

@@ -62,6 +62,7 @@ RefineStats refineProfile(const Instance& inst, FractionalSchedule& schedule,
   SlackEngine slackEngine(inst, schedule, options.incrementalSlack);
 
   for (stats.rounds = 0; stats.rounds < options.maxRounds; ++stats.rounds) {
+    if (stopRequested(options.cancel)) break;
     long transfersThisRound = 0;
     for (std::size_t p = 0; p < pairs.size(); ++p) {
       const Pair& grow = pairs[p];

@@ -11,6 +11,7 @@
 #include "sched/schedule.h"
 #include "sched/slack_engine.h"
 #include "sched/types.h"
+#include "util/cancel.h"
 
 namespace dsct {
 
@@ -24,6 +25,9 @@ struct RefineOptions {
   /// scratch scan on every query; both modes are bit-identical (the
   /// differential harness in tests/sched_slack_cache_test.cpp enforces it).
   bool incrementalSlack = true;
+  /// Cooperative stop token, polled at round boundaries. The schedule stays
+  /// valid on early exit (transfers are atomic); only optimality is lost.
+  const CancelToken* cancel = nullptr;
 };
 
 struct RefineStats {

@@ -1,0 +1,15 @@
+#include "sim/epoch_pipeline.h"
+
+namespace dsct::sim {
+
+// Queue capacity 1: the driver submits the next epoch only after draining
+// the previous future, so a deeper queue would never fill.
+AsyncSolvePipeline::AsyncSolvePipeline() : pool_(1, 1) {}
+
+std::future<SolveOutcome> AsyncSolvePipeline::submit(
+    const Solver& solver, const Instance& inst, const SolveContext& context) {
+  return pool_.submit(
+      [&solver, &inst, &context] { return solver.solve(inst, context); });
+}
+
+}  // namespace dsct::sim

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <future>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
@@ -14,7 +16,9 @@
 #include "core/solver_registry.h"
 #include "sched/profile_cache.h"
 #include "sched/validator.h"
+#include "sim/epoch_pipeline.h"
 #include "sim/renewable.h"
+#include "util/cancel.h"
 #include "util/check.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -163,6 +167,32 @@ ServingStats runServingImpl(
                               << "' returned no integral schedule");
     return std::move(*outcome.schedule);
   };
+  // Same solve with a cancel token threaded through the context; the shared
+  // resources (cache, pool) are untouched, so a null token is bit-identical
+  // to scheduleEpoch's solve.
+  const auto solveWithCancel = [&](const Solver& solver, const Instance& inst,
+                                   const CancelToken* token) {
+    SolveContext ctx = solveCtx;
+    ctx.cancel = token;
+    return solver.solve(inst, ctx);
+  };
+
+  const auto nowSeconds = [&options]() {
+    return options.clock ? options.clock() : steadyNowSeconds();
+  };
+
+  // Background solve lane for async serving. The driver drains every
+  // submitted future within its epoch, so at most one solve is in flight
+  // and the shared cache/pool are never used from two threads at once.
+  std::unique_ptr<AsyncSolvePipeline> pipeline;
+  if (options.asyncServing) pipeline = std::make_unique<AsyncSolvePipeline>();
+  // Double-buffering is allowed only when executing an epoch cannot change
+  // the next epoch's batch or budget: backlog carry-over, fault injection,
+  // and admission control all feed execution results back into later
+  // epochs, so those modes drain the solve before executing instead.
+  const bool overlapEligible = options.asyncServing && !options.carryBacklog &&
+                               !options.faults.enabled &&
+                               options.admissionLoadFactor <= 0.0;
 
   // In-flight requests. Without backlog carry-over a request lives for one
   // epoch; with it, a request re-enters later batches with its residual
@@ -191,6 +221,40 @@ ServingStats runServingImpl(
       ++stats.served;
       latencySum += req.lastFinish - req.arrival;
     }
+  };
+
+  // Double-buffered execution stash for async serving: epoch k's plan is
+  // executed while epoch k+1's solve runs on the pipeline thread. Only used
+  // when overlapEligible — execution then cannot feed back into later
+  // batches, so retire() degenerates to finalize-everything, which is
+  // exactly what the flush does.
+  struct PendingExec {
+    Instance inst;
+    IntegralSchedule sched;
+    std::vector<Active> batch;
+    std::vector<std::size_t> order;
+    double epochEnd = 0.0;
+  };
+  std::optional<PendingExec> pendingExec;
+  const auto flushPending = [&]() {
+    if (!pendingExec.has_value()) return;
+    PendingExec& p = *pendingExec;
+    // Overlap mode implies faults are disabled, so the default FaultContext
+    // reproduces the inline execution path exactly (no interruptions).
+    const ExecutionResult exec =
+        executeSchedule(p.inst, p.sched, CommModel{}, FaultContext{});
+    stats.totalEnergy += exec.totalEnergy;
+    for (int j = 0; j < p.inst.numTasks(); ++j) {
+      const TaskExecution& te = exec.executions[static_cast<std::size_t>(j)];
+      Active& req = p.batch[p.order[static_cast<std::size_t>(j)]];
+      if (te.executed && te.flops > 0.0) {
+        req.flopsDone += te.flops;
+        req.lastFinish = p.epochEnd + te.finish;
+      }
+      if (!te.deadlineMet) ++stats.deadlineMisses;
+    }
+    for (const Active& req : p.batch) finalize(req);
+    pendingExec.reset();
   };
 
   // Iterate over the integer epoch index and derive both boundaries by
@@ -343,19 +407,83 @@ ServingStats runServingImpl(
     }
     Instance inst(tasks, instMachines, budget);
 
+    // Async serving: submit the primary solve to the pipeline thread BEFORE
+    // flushing the previous epoch's deferred execution, so the solve and
+    // the execution overlap. A primary attempt that is known a priori to be
+    // an injected failure is not submitted — solving it would waste the
+    // pipeline slot on a result the chain discards unsolved.
+    struct AsyncPrimary {
+      SolveContext ctx;
+      std::unique_ptr<CancelToken> token;
+      double granted = std::numeric_limits<double>::infinity();
+      double start = 0.0;
+      std::future<SolveOutcome> fut;
+      bool submitted = false;
+    } asyncPrimary;
+    if (pipeline != nullptr) {
+      const bool injected = guarded && faults.policyFailureInjected(epoch) &&
+                            faults.injectFailureDepth() > 0;
+      if (!injected) {
+        asyncPrimary.ctx = solveCtx;
+        if (guarded && options.epochTimeLimitSeconds > 0.0) {
+          asyncPrimary.granted = options.epochTimeLimitSeconds;
+          asyncPrimary.start = nowSeconds();
+          asyncPrimary.token = std::make_unique<CancelToken>(
+              options.epochTimeLimitSeconds, options.clock);
+          asyncPrimary.ctx.cancel = asyncPrimary.token.get();
+        }
+        asyncPrimary.fut = pipeline->submit(primary, inst, asyncPrimary.ctx);
+        asyncPrimary.submitted = true;
+        ++stats.asyncEpochs;
+      }
+    }
+    // The in-flight solve references this scope's instance, context, and
+    // token; drain it even if execution or scheduling below throws.
+    struct FutureDrain {
+      AsyncPrimary* p;
+      ~FutureDrain() {
+        if (p->submitted && p->fut.valid()) p->fut.wait();
+      }
+    } futureDrain{&asyncPrimary};
+
+    // Overlap window: the previous epoch's schedule executes here while (in
+    // async mode) this epoch's solve is already running.
+    flushPending();
+
     // Schedule the epoch. Guarded mode wraps the primary policy in the
-    // configurable fallback chain: exception / injected failure / wall-clock
-    // timeout / validator rejection each demote the epoch to the next chain
-    // entry, and if every entry is rejected too the epoch serves an empty
-    // schedule rather than executing an infeasible one.
-    const IntegralSchedule sched = [&]() -> IntegralSchedule {
-      if (!guarded) return scheduleEpoch(primary, inst);
+    // configurable fallback chain: exception / injected failure / solve-
+    // budget timeout / validator rejection each demote the epoch to the
+    // next chain entry, and if every entry is rejected too the epoch serves
+    // an empty schedule rather than executing an infeasible one.
+    IntegralSchedule sched = [&]() -> IntegralSchedule {
+      if (!guarded) {
+        if (asyncPrimary.submitted) {
+          SolveOutcome outcome = asyncPrimary.fut.get();
+          DSCT_CHECK_MSG(outcome.schedule.has_value(),
+                         "solver '" << primary.name()
+                                    << "' returned no integral schedule");
+          return std::move(*outcome.schedule);
+        }
+        return scheduleEpoch(primary, inst);
+      }
       // depth 0 = the primary policy, depth k = the k-th fallback attempt.
       // Injected failures fail every attempt below the trace's
       // injectFailureDepth (default 1: primary only, the pre-chain
       // semantics); real exceptions keep the historical log shape and are
-      // recorded for the primary only. Timeouts guard the primary only —
-      // a slow fallback is still better than an empty epoch.
+      // recorded for the primary only.
+      //
+      // The solve budget (epochTimeLimitSeconds) is shared by the whole
+      // attempt chain and anchored at the moment the primary started — its
+      // async submission time in async mode. Each attempt receives a
+      // CancelToken carrying the *remaining* budget, polled cooperatively
+      // inside the solvers; once the budget is blown, later attempts run
+      // unguarded (the chain must still serve the epoch, and the blowout is
+      // already on the incident log).
+      const bool limited = options.epochTimeLimitSeconds > 0.0;
+      const double chainStart = !limited                ? 0.0
+                                : asyncPrimary.submitted ? asyncPrimary.start
+                                                         : nowSeconds();
+      const double chainDeadline = chainStart + options.epochTimeLimitSeconds;
       const auto attempt =
           [&](const Solver& solver, int depth) -> std::optional<IntegralSchedule> {
         if (faults.policyFailureInjected(epoch) &&
@@ -365,10 +493,37 @@ ServingStats runServingImpl(
                                      static_cast<double>(depth)});
           return std::nullopt;
         }
-        Stopwatch watch;
+        const bool isAsyncPrimary = depth == 0 && asyncPrimary.submitted;
+        std::unique_ptr<CancelToken> token;
+        double granted = std::numeric_limits<double>::infinity();
+        double attemptStart = 0.0;
+        if (isAsyncPrimary) {
+          granted = asyncPrimary.granted;
+          attemptStart = asyncPrimary.start;
+        } else if (limited) {
+          attemptStart = nowSeconds();
+          granted = chainDeadline - attemptStart;
+          if (granted > 0.0) {
+            token = std::make_unique<CancelToken>(granted, options.clock);
+          }
+        }
+        const CancelToken* activeToken =
+            isAsyncPrimary ? asyncPrimary.token.get() : token.get();
         std::optional<IntegralSchedule> s;
+        bool cancelledOutcome = false;
         try {
-          s = scheduleEpoch(solver, inst);
+          SolveOutcome outcome =
+              isAsyncPrimary ? asyncPrimary.fut.get()
+                             : solveWithCancel(solver, inst, activeToken);
+          cancelledOutcome = outcome.cancelled();
+          if (!cancelledOutcome) {
+            // Inside the try: a missing schedule is a policy failure the
+            // chain absorbs, same as any other solver exception.
+            DSCT_CHECK_MSG(outcome.schedule.has_value(),
+                           "solver '" << solver.name()
+                                      << "' returned no integral schedule");
+            s = std::move(*outcome.schedule);
+          }
         } catch (const std::exception&) {
           if (depth == 0) {
             ++stats.policyFailures;
@@ -377,11 +532,17 @@ ServingStats runServingImpl(
           }
           return std::nullopt;
         }
-        if (depth == 0 && options.epochTimeLimitSeconds > 0.0 &&
-            watch.elapsedSeconds() > options.epochTimeLimitSeconds) {
-          ++stats.policyFailures;
+        // An attempt times out when the solver observed its token and
+        // stopped early (kCancelled), or — for slow non-cooperative spans —
+        // when it ran past its granted budget post hoc. Unguarded attempts
+        // (activeToken == nullptr, budget already blown) are never flagged.
+        const double elapsed = limited ? nowSeconds() - attemptStart : 0.0;
+        if (cancelledOutcome ||
+            (activeToken != nullptr && elapsed > granted)) {
+          if (depth == 0) ++stats.policyFailures;
+          ++stats.policyTimeouts;
           stats.incidents.push_back(
-              {epoch, IncidentKind::kPolicyTimeout, watch.elapsedSeconds()});
+              {epoch, IncidentKind::kPolicyTimeout, elapsed, depth});
           return std::nullopt;
         }
         if (!validate(inst, *s).feasible) {
@@ -421,6 +582,17 @@ ServingStats runServingImpl(
       return *std::move(s);
     }();
 
+    if (overlapEligible) {
+      // Defer this epoch's execution: it runs inside the next iteration's
+      // overlap window (or in the post-loop flush at the horizon), while
+      // the next epoch's solve is in flight.
+      pendingExec.emplace(PendingExec{std::move(inst), std::move(sched),
+                                      std::move(active), std::move(order),
+                                      epochEnd});
+      active.clear();
+      continue;
+    }
+
     FaultContext ctx;
     if (faults.enabled()) {
       ctx.trace = &faults;
@@ -447,9 +619,10 @@ ServingStats runServingImpl(
 
     retire();
   }
-  // Horizon over: retire whatever is still in flight. Arrivals at or past
-  // the horizon (possible with caller-provided times) are outside the
-  // simulation and not counted.
+  // Horizon over: flush the last deferred epoch, then retire whatever is
+  // still in flight. Arrivals at or past the horizon (possible with
+  // caller-provided times) are outside the simulation and not counted.
+  flushPending();
   for (const Active& req : active) finalize(req);
 
   if (stats.requests > 0) {

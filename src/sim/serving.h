@@ -15,6 +15,7 @@
 #include "sched/types.h"
 #include "sim/cluster.h"
 #include "sim/faults.h"
+#include "util/cancel.h"
 
 namespace dsct::sim {
 
@@ -67,10 +68,31 @@ struct ServingOptions {
   /// accuracy) instead of letting the solver starve the whole batch. 0 (the
   /// default) disables shedding.
   double admissionLoadFactor = 0.0;
-  /// Per-epoch wall-clock limit for the primary policy (s); when exceeded
-  /// the epoch falls back to the fallback chain. <= 0 (default) disables the
-  /// check — it is wall-clock based and therefore not replay-deterministic.
+  /// Per-epoch wall-clock budget for the whole scheduling attempt chain
+  /// (s). Every attempt receives a CancelToken carrying the *remaining*
+  /// budget, polled cooperatively inside the solvers, so a deadline-missing
+  /// solve is stopped mid-solve instead of discarded post-hoc. Once the
+  /// budget is blown, later fallback attempts run unguarded — the chain
+  /// must still serve the epoch, and the blowout is already on the incident
+  /// log. <= 0 (default) disables the budget. Deterministic under an
+  /// injected `clock`; with the default steady clock it is wall-clock based
+  /// and therefore not replay-deterministic.
   double epochTimeLimitSeconds = 0.0;
+  /// Run epoch solves on a background thread, double-buffered with
+  /// execution: while epoch k's schedule executes, epoch k+1's solve is
+  /// already running. The driver always drains the solve future (the
+  /// cooperative token, not a wall-clock wait, enforces the deadline), so
+  /// results are bit-identical to synchronous serving for deterministic
+  /// policies; only the wall-clock overlap differs. Overlap is suppressed
+  /// (solves still run on the background thread, without pipelining) when
+  /// execution feeds back into the next epoch's batch: backlog carry-over,
+  /// fault injection, or admission control.
+  bool asyncServing = false;
+  /// Clock used for the epoch solve budget (seconds, monotonic). Empty uses
+  /// std::chrono::steady_clock. An injected clock must be callable from the
+  /// background solve thread concurrently with the driver (make it atomic);
+  /// tests inject a fake clock to make timeout behaviour deterministic.
+  ClockFn clock{};
   /// Ordered fallback chain, as solver-registry names: when the primary
   /// policy fails (throw, injected failure, timeout, validator rejection) in
   /// a guarded run, each chain entry is attempted in order — skipping
@@ -119,10 +141,18 @@ const char* toString(IncidentKind kind);
 struct EpochIncident {
   long long epoch = 0;
   IncidentKind kind = IncidentKind::kPolicyFailure;
-  /// Kind-specific payload: shock factor for kBudgetShock, shed count for
-  /// kAdmissionShed, attempt depth for kPolicyFailure (0 = primary policy,
-  /// k > 0 = k-th fallback attempt), 0 otherwise.
+  /// Kind-specific payload:
+  ///  - kPolicyFailure: attempt depth (0 = primary, k > 0 = k-th fallback);
+  ///  - kPolicyTimeout: the attempt's elapsed solve seconds (NOT 0 — this
+  ///    was previously misdocumented);
+  ///  - kBudgetShock: the budget shock factor;
+  ///  - kAdmissionShed: number of requests shed;
+  ///  - 0 for every other kind.
   double value = 0.0;
+  /// Attempt depth for kPolicyTimeout (0 = primary policy, k > 0 = k-th
+  /// fallback attempt); 0 for other kinds (kPolicyFailure keeps its depth
+  /// in `value` for log-shape compatibility).
+  int depth = 0;
 
   bool operator==(const EpochIncident&) const = default;
 };
@@ -143,6 +173,10 @@ struct ServingStats {
   int shed = 0;                ///< requests dropped by admission control
   int fallbacks = 0;           ///< epochs not served by the primary policy
   int policyFailures = 0;      ///< primary-policy throws/timeouts/injections
+  int policyTimeouts = 0;      ///< attempts over the epoch solve budget
+                               ///< (any depth; cancelled mid-solve or post hoc)
+  int asyncEpochs = 0;         ///< epochs whose primary solve ran on the
+                               ///< async pipeline thread
   int validatorRejections = 0; ///< schedules rejected by the validator gate
   int budgetShockEpochs = 0;
   int noMachineEpochs = 0;     ///< epochs with every machine crashed

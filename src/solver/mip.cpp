@@ -54,10 +54,20 @@ std::optional<std::vector<double>> dive(const Model& model,
                                         const MipOptions& options,
                                         const TimeLimit& deadline) {
   LpOptions lpOptions = options.lp;
+  if (lpOptions.cancel == nullptr) lpOptions.cancel = options.cancel;
   for (int guard = 0; guard <= model.numIntegerVariables(); ++guard) {
-    if (deadline.expired()) return std::nullopt;
-    if (options.timeLimitSeconds > 0.0) {
-      lpOptions.timeLimitSeconds = std::max(0.01, deadline.remaining());
+    if (deadline.expired() || dsct::stopRequested(options.cancel)) {
+      return std::nullopt;
+    }
+    if (deadline.hasLimit()) {
+      // Grant exactly what is left. The old max(0.01, remaining()) clamp
+      // kept handing an expired deadline 10 ms per LP call; remaining() can
+      // only be <= 0 here in the race between the expiry check above and
+      // this read, in which case we stop instead of granting "unlimited"
+      // (LpOptions treats non-positive limits as no limit).
+      const double remaining = deadline.remaining();
+      if (remaining <= 0.0) return std::nullopt;
+      lpOptions.timeLimitSeconds = remaining;
     }
     const LpResult lp = solveLpWithBounds(model, lower, upper, lpOptions);
     if (lp.status != SolveStatus::kOptimal) return std::nullopt;
@@ -135,8 +145,15 @@ MipResult solveMip(const Model& model, const MipOptions& options) {
   bool stopped = false;  // time / node limit hit
 
   LpOptions lpOptions = options.lp;
+  if (lpOptions.cancel == nullptr) lpOptions.cancel = options.cancel;
 
   while (!stack.empty()) {
+    if (dsct::stopRequested(options.cancel)) {
+      stopped = true;
+      result.timedOut = true;
+      result.cancelled = true;
+      break;
+    }
     if (deadline.expired()) {
       stopped = true;
       result.timedOut = true;
@@ -156,8 +173,18 @@ MipResult solveMip(const Model& model, const MipOptions& options) {
                                                         : -options.absGapTol))) {
       continue;
     }
-    if (options.timeLimitSeconds > 0.0) {
-      lpOptions.timeLimitSeconds = std::max(0.01, deadline.remaining());
+    if (deadline.hasLimit()) {
+      // Same fix as in dive(): grant the true remainder, and stop rather
+      // than floor an expired deadline up to 10 ms (or pass a non-positive
+      // value, which LpOptions reads as unlimited).
+      const double remaining = deadline.remaining();
+      if (remaining <= 0.0) {
+        stopped = true;
+        result.timedOut = true;
+        stack.push_back(std::move(node));
+        break;
+      }
+      lpOptions.timeLimitSeconds = remaining;
     }
     const LpResult lp =
         solveLpWithBounds(model, node.lower, node.upper, lpOptions);
@@ -170,6 +197,7 @@ MipResult solveMip(const Model& model, const MipOptions& options) {
         lp.status == SolveStatus::kIterationLimit) {
       stopped = true;
       result.timedOut = (lp.status == SolveStatus::kTimeLimit);
+      result.cancelled = result.cancelled || lp.cancelled;
       // The node is unresolved; its parent bound stays open.
       stack.push_back(std::move(node));
       break;

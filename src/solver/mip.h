@@ -28,11 +28,18 @@ struct MipOptions {
   /// no initialSolution is given. Off by default to keep the solver
   /// baseline of the reproduction unembellished.
   bool rootDive = false;
+  /// Cooperative stop token, polled at every node expansion and forwarded
+  /// into the node LP solves. A stop reads as kTimeLimit with `cancelled`
+  /// set; the incumbent found so far is returned.
+  const dsct::CancelToken* cancel = nullptr;
 };
 
 struct MipResult {
   SolveStatus status = SolveStatus::kInfeasible;
   bool timedOut = false;
+  /// True when the search stopped at a cancel-token poll (in the node loop
+  /// or inside a node LP) rather than its own wall-clock/node limits.
+  bool cancelled = false;
   bool hasSolution = false;
   double objective = 0.0;  ///< incumbent objective (model direction)
   double bestBound = 0.0;  ///< proven bound on the optimum

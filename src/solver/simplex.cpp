@@ -98,6 +98,7 @@ class Tableau {
 
 struct PhaseOutcome {
   SolveStatus status = SolveStatus::kOptimal;
+  bool cancelled = false;
   long iterations = 0;
 };
 
@@ -115,9 +116,16 @@ PhaseOutcome runSimplex(Tableau& t, const std::vector<char>& allowed,
       out.status = SolveStatus::kIterationLimit;
       return out;
     }
-    if ((out.iterations & 63) == 0 && deadline.expired()) {
-      out.status = SolveStatus::kTimeLimit;
-      return out;
+    if ((out.iterations & 63) == 0) {
+      if (stopRequested(options.cancel)) {
+        out.status = SolveStatus::kTimeLimit;
+        out.cancelled = true;
+        return out;
+      }
+      if (deadline.expired()) {
+        out.status = SolveStatus::kTimeLimit;
+        return out;
+      }
     }
     const bool bland = out.iterations >= blandThreshold;
     // --- pricing: choose entering column ---
@@ -359,6 +367,7 @@ LpResult solveLpWithBounds(const Model& model, std::span<const double> lower,
     iterationsUsed += p1.iterations;
     if (p1.status != SolveStatus::kOptimal) {
       result.status = p1.status;
+      result.cancelled = p1.cancelled;
       result.iterations = iterationsUsed;
       result.solveSeconds = watch.elapsedSeconds();
       return result;
@@ -425,6 +434,7 @@ LpResult solveLpWithBounds(const Model& model, std::span<const double> lower,
     iterationsUsed += p2.iterations;
     if (p2.status != SolveStatus::kOptimal) {
       result.status = p2.status;
+      result.cancelled = p2.cancelled;
       result.iterations = iterationsUsed;
       result.solveSeconds = watch.elapsedSeconds();
       return result;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "solver/model.h"
+#include "util/cancel.h"
 
 namespace dsct::lp {
 
@@ -32,10 +33,16 @@ struct LpOptions {
   double timeLimitSeconds = -1.0;  ///< <= 0 means unlimited
   long maxIterations = -1;         ///< <= 0 means automatic (scales with size)
   double tol = 1e-9;               ///< reduced-cost / ratio tolerance
+  /// Cooperative stop token, polled alongside the time limit every 64
+  /// pivots. A stop reads as kTimeLimit with `cancelled` set on the result.
+  const dsct::CancelToken* cancel = nullptr;
 };
 
 struct LpResult {
   SolveStatus status = SolveStatus::kInfeasible;
+  /// True when the solve stopped at a cancel-token poll (status is then
+  /// kTimeLimit — the token subsumes the wall-clock limit).
+  bool cancelled = false;
   double objective = 0.0;      ///< c^T x in the model's direction
   std::vector<double> x;       ///< primal values (model variable order)
   /// Shadow prices, one per model constraint: d(objective)/d(rhs_i) in the

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <chrono>
+#include <limits>
 
 namespace dsct {
 
@@ -29,8 +30,15 @@ class TimeLimit {
   bool expired() const {
     return seconds_ > 0.0 && watch_.elapsedSeconds() >= seconds_;
   }
+  /// Whether a finite limit is in force.
+  bool hasLimit() const { return seconds_ > 0.0; }
+  /// Seconds left before the limit: +infinity when unlimited, and <= 0
+  /// once an active limit has expired. (Unlimited used to be signalled by
+  /// -1.0, which was indistinguishable from an expired limit's negative
+  /// remainder at call sites.)
   double remaining() const {
-    return seconds_ <= 0.0 ? -1.0 : seconds_ - watch_.elapsedSeconds();
+    return seconds_ <= 0.0 ? std::numeric_limits<double>::infinity()
+                           : seconds_ - watch_.elapsedSeconds();
   }
   double limitSeconds() const { return seconds_; }
 

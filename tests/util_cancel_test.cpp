@@ -1,0 +1,78 @@
+// CancelToken: deadline semantics under real and injected clocks, explicit
+// cancellation, and the pre-expired (non-positive budget) edge.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/cancel.h"
+
+namespace dsct {
+namespace {
+
+TEST(CancelToken, DefaultHasNoDeadline) {
+  const CancelToken token;
+  EXPECT_FALSE(token.hasDeadline());
+  EXPECT_FALSE(token.expired());
+  EXPECT_FALSE(token.cancelRequested());
+  EXPECT_FALSE(token.stopRequested());
+  EXPECT_TRUE(std::isinf(token.remainingSeconds()));
+  EXPECT_GT(token.remainingSeconds(), 0.0);
+}
+
+TEST(CancelToken, RequestCancelStopsWithoutDeadline) {
+  CancelToken token;
+  token.requestCancel();
+  EXPECT_TRUE(token.cancelRequested());
+  EXPECT_TRUE(token.stopRequested());
+  EXPECT_FALSE(token.expired());  // cancellation is not deadline expiry
+}
+
+TEST(CancelToken, DeadlineExpiresUnderInjectedClock) {
+  double now = 100.0;
+  const CancelToken token(0.25, [&now]() { return now; });
+  EXPECT_TRUE(token.hasDeadline());
+  EXPECT_FALSE(token.expired());
+  EXPECT_DOUBLE_EQ(token.remainingSeconds(), 0.25);
+
+  now = 100.125;
+  EXPECT_FALSE(token.stopRequested());
+  EXPECT_DOUBLE_EQ(token.remainingSeconds(), 0.125);
+
+  now = 100.25;  // exactly at the deadline counts as expired
+  EXPECT_TRUE(token.expired());
+  EXPECT_TRUE(token.stopRequested());
+  EXPECT_DOUBLE_EQ(token.remainingSeconds(), 0.0);
+
+  now = 101.0;
+  EXPECT_LT(token.remainingSeconds(), 0.0);
+}
+
+TEST(CancelToken, NonPositiveBudgetIsAlreadyExpired) {
+  double now = 5.0;
+  const CancelToken zero(0.0, [&now]() { return now; });
+  EXPECT_TRUE(zero.expired());
+  EXPECT_TRUE(zero.stopRequested());
+  EXPECT_EQ(zero.remainingSeconds(), -std::numeric_limits<double>::infinity());
+
+  const CancelToken negative(-1.0, [&now]() { return now; });
+  EXPECT_TRUE(negative.stopRequested());
+}
+
+TEST(CancelToken, RealClockBudgetStartsUnexpired) {
+  const CancelToken token(3600.0);  // steady_clock; one hour cannot elapse here
+  EXPECT_TRUE(token.hasDeadline());
+  EXPECT_FALSE(token.stopRequested());
+  EXPECT_GT(token.remainingSeconds(), 0.0);
+}
+
+TEST(CancelToken, FreeHelperTreatsNullAsNeverStopping) {
+  EXPECT_FALSE(stopRequested(nullptr));
+  CancelToken token;
+  EXPECT_FALSE(stopRequested(&token));
+  token.requestCancel();
+  EXPECT_TRUE(stopRequested(&token));
+}
+
+}  // namespace
+}  // namespace dsct

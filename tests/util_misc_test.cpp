@@ -1,4 +1,5 @@
 #include <atomic>
+#include <cmath>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -201,12 +202,18 @@ TEST(Stopwatch, MeasuresElapsed) {
 TEST(TimeLimit, NonPositiveMeansUnlimited) {
   TimeLimit unlimited(-1.0);
   EXPECT_FALSE(unlimited.expired());
-  EXPECT_LT(unlimited.remaining(), 0.0);
+  EXPECT_FALSE(unlimited.hasLimit());
+  // Unlimited reads as +infinity remaining, not a negative sentinel that
+  // an expired limit could also produce.
+  EXPECT_TRUE(std::isinf(unlimited.remaining()));
+  EXPECT_GT(unlimited.remaining(), 0.0);
   TimeLimit instant(1e-9);
+  EXPECT_TRUE(instant.hasLimit());
   // Spin briefly so the limit passes.
   volatile double sink = 0.0;
   for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_TRUE(instant.expired());
+  EXPECT_LE(instant.remaining(), 0.0);
 }
 
 }  // namespace

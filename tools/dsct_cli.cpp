@@ -14,7 +14,7 @@
 //            [--faults] [--fault-seed N] [--mtbf S] [--mttr S]
 //            [--slow-mtbf S] [--slow-mean S] [--slow-factor F]
 //            [--shock-prob P] [--shock-factor F] [--max-retries N]
-//            [--incidents]
+//            [--epoch-time-limit S] [--async] [--incidents]
 //
 // `--algo` and `--policy` accept any name or alias from the solver registry
 // (run `dsct_cli solvers` for the list); `--policy` and `--fallback` are
@@ -89,7 +89,7 @@ int usage() {
       "           [--faults] [--fault-seed N] [--mtbf S] [--mttr S]\n"
       "           [--slow-mtbf S] [--slow-mean S] [--slow-factor F]\n"
       "           [--shock-prob P] [--shock-factor F] [--max-retries N]\n"
-      "           [--incidents]\n"
+      "           [--epoch-time-limit S] [--async] [--incidents]\n"
       "\n"
       "NAME is any solver name or alias from `dsct_cli solvers`.\n";
   return 1;
@@ -297,6 +297,10 @@ int cmdServe(const Args& args) {
   options.faults.budgetShockProbability = args.getDouble("shock-prob", 0.0);
   options.faults.budgetShockFactor = args.getDouble("shock-factor", 1.0);
   options.faults.maxRetries = args.getInt("max-retries", 2);
+  // Per-epoch solve budget (cooperative cancellation) and the async
+  // double-buffered pipeline; see ServingOptions for semantics.
+  options.epochTimeLimitSeconds = args.getDouble("epoch-time-limit", 0.0);
+  options.asyncServing = args.has("async");
 
   const sim::ServingStats s = sim::runServing(machines, policy, options);
   std::cout << "policy         : " << primary->displayName() << '\n'
@@ -316,10 +320,18 @@ int cmdServe(const Args& args) {
               << "shocked epochs : " << s.budgetShockEpochs << " ("
               << s.noMachineEpochs << " with no machine alive)\n";
   }
+  if (options.epochTimeLimitSeconds > 0.0 || options.asyncServing) {
+    std::cout << "solve timeouts : " << s.policyTimeouts << '\n'
+              << "async epochs   : " << s.asyncEpochs << '\n';
+  }
   if (args.has("incidents")) {
     for (const sim::EpochIncident& incident : s.incidents) {
       std::cout << "incident       : epoch " << incident.epoch << ' '
-                << toString(incident.kind) << " (" << incident.value << ")\n";
+                << toString(incident.kind) << " (" << incident.value;
+      if (incident.kind == sim::IncidentKind::kPolicyTimeout) {
+        std::cout << ", depth " << incident.depth;
+      }
+      std::cout << ")\n";
     }
   }
   return 0;
