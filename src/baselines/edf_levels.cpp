@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "accuracy/levels.h"
+#include "util/check.h"
 
 namespace dsct {
 
@@ -13,6 +14,9 @@ BaselineResult solveEdfLevels(const Instance& inst,
   const int n = inst.numTasks();
   const int m = inst.numMachines();
   std::vector<double> load(static_cast<std::size_t>(m), 0.0);
+  std::vector<double> machineEnergy(static_cast<std::size_t>(m), 0.0);
+  const std::vector<double>* caps = options.machineEnergyCaps;
+  DSCT_CHECK(caps == nullptr || static_cast<int>(caps->size()) == m);
   double energyUsed = 0.0;
 
   std::vector<int> machineOf(static_cast<std::size_t>(n), -1);
@@ -49,7 +53,12 @@ BaselineResult solveEdfLevels(const Instance& inst,
         const bool meetsBudget =
             energyUsed + time * machine.power() <=
             inst.energyBudget() + 1e-9;
-        if (!meetsDeadline || !meetsBudget) continue;
+        const bool meetsCap =
+            caps == nullptr ||
+            machineEnergy[static_cast<std::size_t>(r)] +
+                    time * machine.power() <=
+                (*caps)[static_cast<std::size_t>(r)] + 1e-9;
+        if (!meetsDeadline || !meetsBudget || !meetsCap) continue;
         if (it->accuracy > chosenAccuracy) {
           chosenMachine = r;
           chosenTime = time;
@@ -69,7 +78,9 @@ BaselineResult solveEdfLevels(const Instance& inst,
     machineOf[static_cast<std::size_t>(j)] = chosenMachine;
     duration[static_cast<std::size_t>(j)] = chosenTime;
     load[static_cast<std::size_t>(chosenMachine)] += chosenTime;
-    energyUsed += chosenTime * inst.machine(chosenMachine).power();
+    const double joules = chosenTime * inst.machine(chosenMachine).power();
+    machineEnergy[static_cast<std::size_t>(chosenMachine)] += joules;
+    energyUsed += joules;
   }
 
   BaselineResult result{IntegralSchedule::build(inst, std::move(machineOf),

@@ -20,6 +20,12 @@ struct EdfLevelsOptions {
   std::vector<double> accuracyTargets{0.27, 0.55, 0.82};
   /// Cooperative stop token, polled per task; unplaced tasks stay dropped.
   const CancelToken* cancel = nullptr;
+  /// Optional per-machine energy caps (J, indexed like the instance's
+  /// machines): a level only fits on machine r if r's accumulated energy
+  /// stays within (*machineEnergyCaps)[r] — the availability layer's
+  /// battery charge (DESIGN.md §15). Null means uncapped, and the result
+  /// is bit-identical to a build without this field.
+  const std::vector<double>* machineEnergyCaps = nullptr;
 };
 
 BaselineResult solveEdfLevels(const Instance& inst,

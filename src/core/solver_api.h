@@ -23,6 +23,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "sched/energy_profile.h"
 #include "sched/fr_opt.h"
@@ -60,6 +61,19 @@ struct SolverCapabilities {
   /// bit-identical. False for wall-clock-limited searches (the MIP paths),
   /// whose incumbent depends on where the limit cuts the tree.
   bool deterministic = true;
+  /// Honours SolveContext::availability: the solver discounts machines by
+  /// their per-machine energy caps (battery charge) instead of treating the
+  /// global budget as the only energy constraint. Solvers without this flag
+  /// still run under availability — the serving loop cuts over-assigned
+  /// machines at execution time — but cannot avoid the exhaustion spill.
+  bool availabilityAware = false;
+};
+
+/// Per-epoch availability hints for capability-gated solvers (DESIGN.md
+/// §15): machineEnergyCaps[r] is the stored energy (J) of the instance's
+/// machine r this epoch; empty means no per-machine limits.
+struct AvailabilityHints {
+  std::vector<double> machineEnergyCaps;
 };
 
 /// Shared per-call configuration, threaded through every dispatch layer
@@ -77,6 +91,10 @@ struct SolveContext {
   /// token must outlive the solve call (the serving loop keeps it alive
   /// until the background future is drained).
   const CancelToken* cancel = nullptr;
+  /// Per-machine energy caps for availability-aware solvers; null means
+  /// none. Only solvers whose capabilities declare `availabilityAware`
+  /// read this. Must outlive the solve call (same rule as `cancel`).
+  const AvailabilityHints* availability = nullptr;
 };
 
 /// Normalized result of any solver: schedule(s), objective, energy, wall

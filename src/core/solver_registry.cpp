@@ -208,10 +208,17 @@ SolverRegistry::SolverRegistry() {
                  }),
       {"edf-nocompress"});
 
-  add(makeSolver("edf3", "EDF-3CompressionLevels", SolverCapabilities{},
+  SolverCapabilities edf3Caps;
+  edf3Caps.availabilityAware = true;  // honours per-machine energy caps
+  add(makeSolver("edf3", "EDF-3CompressionLevels", edf3Caps,
                  [](const Instance& inst, const SolveContext& context) {
                    EdfLevelsOptions options;
                    options.cancel = context.cancel;
+                   if (context.availability != nullptr &&
+                       !context.availability->machineEnergyCaps.empty()) {
+                     options.machineEnergyCaps =
+                         &context.availability->machineEnergyCaps;
+                   }
                    return fromBaseline(inst, solveEdfLevels(inst, options));
                  }),
       {"edf-levels"});

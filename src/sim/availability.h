@@ -1,0 +1,145 @@
+// Availability layer for volunteer/edge fleets (BOINC-style deployments).
+//
+// Two orthogonal extensions of the machine model, layered on top of the
+// fault-injection substrate of sim/faults:
+//
+//  * Departure/return windows: machines that leave the fleet for *whole
+//    scheduling epochs* and come back later. Unlike a crash (which cuts a
+//    running slice mid-epoch and is replanned around), a departed machine is
+//    simply excluded from the epoch's instance — no work is assigned, no
+//    interruption happens, and the machine rejoins silently at its return
+//    epoch.
+//  * A battery model: each machine carries an energy store that drains in
+//    proportion to the energy of the work it actually executes and recharges
+//    at a fixed rate every epoch (also while departed — a volunteer device
+//    charging at home). The machine's *effective* per-epoch contribution is
+//    its current charge, and the global budget B is capped at
+//    min(B, Σ_present charge_m) when AvailabilityOptions::capGlobalBudget
+//    is set.
+//
+// Like FaultTrace, an AvailabilityTrace is a pure function of
+// (AvailabilityOptions, machine count, horizon): two generate() calls with
+// the same seed produce bit-identical departure schedules and battery
+// parameters regardless of anything the scheduler later decides. Battery
+// *state* (charge histories under drain) lives in BatteryModel, owned by the
+// serving loop. See DESIGN.md §15.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dsct::sim {
+
+struct AvailabilityOptions {
+  /// Master switch. When false, runServing draws no availability RNG and
+  /// takes the exact pre-availability code path (regression-pinned).
+  bool enabled = false;
+  /// Seed for the departure stream, independent of the workload and fault
+  /// seeds so each layer can be replayed in isolation.
+  std::uint64_t seed = 2025;
+
+  /// Mean present stretch between departures (s); 0 disables departures,
+  /// negative values are rejected loudly.
+  double departMtbfSeconds = 0.0;
+  /// Mean absence length (s); must be positive when departures are enabled.
+  double departMeanSeconds = 1.0;
+
+  /// Per-machine battery capacity (J); 0 disables the battery model,
+  /// negative values are rejected loudly.
+  double batteryCapacityJoules = 0.0;
+  /// Initial charge as a fraction of capacity, in [0, 1].
+  double batteryInitialFraction = 1.0;
+  /// Recharge rate (J/s), credited every epoch — present or departed — and
+  /// clamped at capacity.
+  double rechargeWatts = 0.0;
+  /// Cap the per-epoch global energy budget at the fleet's total stored
+  /// energy: B_epoch = min(B_epoch, Σ_present charge_m).
+  bool capGlobalBudget = true;
+
+  friend bool operator==(const AvailabilityOptions&,
+                         const AvailabilityOptions&) = default;
+};
+
+/// Seeded, deterministic per-machine departure schedule at whole-epoch
+/// granularity, plus the (immutable) battery parameters.
+class AvailabilityTrace {
+ public:
+  /// Disabled trace: every machine present in every epoch, no battery.
+  AvailabilityTrace() = default;
+
+  /// Explicit trace for tests: `absent[m][e]` marks machine m departed for
+  /// epoch e. All machines must cover the same number of epochs.
+  AvailabilityTrace(std::vector<std::vector<bool>> absent,
+                    AvailabilityOptions options);
+
+  /// Sample a trace over [0, horizonSeconds) for `numMachines` machines and
+  /// `numEpochs` epochs of `epochSeconds` each. Departure windows follow an
+  /// alternating renewal process (present ~ Exp(1/departMtbf), absent
+  /// ~ Exp(1/departMean)) snapped to whole epochs: a machine is departed
+  /// for epoch e iff an absence window covers the epoch's start. Option
+  /// fields are validated loudly (DSCT_CHECK) before any sampling.
+  static AvailabilityTrace generate(int numMachines, double horizonSeconds,
+                                    long long numEpochs, double epochSeconds,
+                                    const AvailabilityOptions& options);
+
+  bool enabled() const { return enabled_; }
+  int numMachines() const { return static_cast<int>(absent_.size()); }
+  long long numEpochs() const { return numEpochs_; }
+
+  /// Is `machine` part of the fleet for scheduling epoch `epoch`? True when
+  /// the trace is disabled or the epoch is out of range.
+  bool presentInEpoch(int machine, long long epoch) const;
+
+  /// Number of machines departed for `epoch`.
+  int absentCount(long long epoch) const;
+
+  /// Battery model switched on (capacity > 0 on an enabled trace)?
+  bool batteryActive() const {
+    return enabled_ && options_.batteryCapacityJoules > 0.0;
+  }
+
+  const AvailabilityOptions& options() const { return options_; }
+
+  friend bool operator==(const AvailabilityTrace&,
+                         const AvailabilityTrace&) = default;
+
+ private:
+  bool enabled_ = false;
+  long long numEpochs_ = 0;
+  AvailabilityOptions options_{};
+  std::vector<std::vector<bool>> absent_;  ///< [machine][epoch]
+};
+
+/// Runtime per-machine energy store. Owned by the serving loop: charge
+/// drains by the energy each epoch's execution actually consumed and
+/// recharges by rechargeWatts · epochSeconds at every epoch boundary. The
+/// model is inactive (active() == false, no storage) unless constructed
+/// from a trace with batteryActive().
+class BatteryModel {
+ public:
+  /// Inactive model (no battery accounting).
+  BatteryModel() = default;
+
+  /// Per-machine stores at capacity · initialFraction.
+  BatteryModel(int numMachines, const AvailabilityOptions& options);
+
+  bool active() const { return !charge_.empty(); }
+  double capacityJoules() const { return capacity_; }
+
+  /// Current stored energy of `machine` (J).
+  double charge(int machine) const;
+
+  /// Remove `joules` from `machine`'s store (clamped at 0).
+  void drain(int machine, double joules);
+
+  /// Credit every machine with rechargeWatts · seconds, clamped at
+  /// capacity. Exact no-op when the recharge rate is 0.
+  void recharge(double seconds);
+
+ private:
+  double capacity_ = 0.0;
+  double rechargeWatts_ = 0.0;
+  std::vector<double> charge_;
+};
+
+}  // namespace dsct::sim

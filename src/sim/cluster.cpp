@@ -1,6 +1,7 @@
 #include "sim/cluster.h"
 
 #include <algorithm>
+#include <limits>
 #include <queue>
 
 #include "util/check.h"
@@ -29,6 +30,15 @@ struct Later {
 };
 
 }  // namespace
+
+double FaultContext::cutSeconds(int machine) const {
+  if (energyCutSeconds.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  DSCT_CHECK(machine >= 0 &&
+             machine < static_cast<int>(energyCutSeconds.size()));
+  return energyCutSeconds[static_cast<std::size_t>(machine)];
+}
 
 double CommModel::transferSeconds(int task) const {
   if (taskBytes.empty()) return 0.0;
@@ -103,15 +113,20 @@ ExecutionResult executeSchedule(const Instance& inst,
       queue.push({clock, r, sequence++, EventKind::kMachineIdle, -1, 0.0});
     }
   } else {
-    const FaultTrace& trace = *faults.trace;
+    const bool traceActive = faults.traceActive();
     for (int r = 0; r < inst.numMachines(); ++r) {
       const int tr = faults.traceMachine(r);
       // First crash at or after the epoch start, in local time; a machine
       // already down at the offset interrupts everything at local 0, and
       // everything from the crash to the end of the timeline is lost (the
-      // machine rejoins only at the next epoch's replan).
-      const double crashLocal =
-          trace.nextCrashAt(tr, faults.timeOffset) - faults.timeOffset;
+      // machine rejoins only at the next epoch's replan). Battery exhaustion
+      // (FaultContext::energyCutSeconds) cuts with identical semantics at
+      // the earlier of the two instants.
+      const double traceCrash =
+          traceActive ? faults.trace->nextCrashAt(tr, faults.timeOffset) -
+                            faults.timeOffset
+                      : std::numeric_limits<double>::infinity();
+      const double crashLocal = std::min(traceCrash, faults.cutSeconds(r));
       double clock = 0.0;
       for (const ScheduledTask& e : schedule.timeline(r)) {
         const double transfer =
@@ -134,8 +149,12 @@ ExecutionResult executeSchedule(const Instance& inst,
         // re-deriving it from finish - execStart, so a task untouched by any
         // fault reproduces the default path's FLOPs bit for bit.
         const double occupied = cut ? finish - execStart : e.duration;
-        const double lost = trace.slowdownLossSeconds(
-            tr, faults.timeOffset + execStart, faults.timeOffset + finish);
+        const double lost =
+            traceActive
+                ? faults.trace->slowdownLossSeconds(
+                      tr, faults.timeOffset + execStart,
+                      faults.timeOffset + finish)
+                : 0.0;
         const double flops =
             std::max(0.0, lost > 0.0 ? occupied - lost : occupied) *
             inst.machine(r).speed;

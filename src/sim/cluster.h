@@ -72,23 +72,34 @@ ExecutionResult executeSchedule(const Instance& inst,
 /// and `machineMap[r]` names the trace machine behind the instance's machine
 /// r (empty = identity). Inactive contexts select the fault-free fast path,
 /// which is bit-identical to the pre-fault simulator.
+///
+/// `energyCutSeconds` adds battery exhaustion (DESIGN.md §15): machine r
+/// stops delivering work at local time energyCutSeconds[r] — the instant its
+/// energy store runs dry — with the same cut semantics as a crash (partial
+/// FLOPs, `interrupted` flag, rest of the timeline abandoned). Empty means
+/// no energy limits; entries of +infinity leave that machine uncut.
 struct FaultContext {
   const FaultTrace* trace = nullptr;
   double timeOffset = 0.0;
   std::vector<int> machineMap;
+  std::vector<double> energyCutSeconds;  ///< local seconds, per machine
 
-  bool active() const { return trace != nullptr && trace->enabled(); }
+  bool traceActive() const { return trace != nullptr && trace->enabled(); }
+  bool active() const { return traceActive() || !energyCutSeconds.empty(); }
   int traceMachine(int machine) const {
     return machineMap.empty() ? machine
                               : machineMap[static_cast<std::size_t>(machine)];
   }
+  /// Battery cut-off for `machine` in local time; +infinity when unlimited.
+  double cutSeconds(int machine) const;
 };
 
-/// Execute under fault injection: a machine that crashes mid-epoch cuts its
-/// running task at the crash instant (partial FLOPs and energy are recorded,
-/// the task is flagged `interrupted`) and abandons the rest of its timeline;
-/// straggler windows scale delivered FLOPs by the trace's slowdown factor
-/// while the machine still occupies — and is billed for — its full slot.
+/// Execute under fault injection: a machine that crashes mid-epoch — or runs
+/// out of stored energy (`energyCutSeconds`) — cuts its running task at that
+/// instant (partial FLOPs and energy are recorded, the task is flagged
+/// `interrupted`) and abandons the rest of its timeline; straggler windows
+/// scale delivered FLOPs by the trace's slowdown factor while the machine
+/// still occupies — and is billed for — its full slot.
 ExecutionResult executeSchedule(const Instance& inst,
                                 const IntegralSchedule& schedule,
                                 const CommModel& comm,

@@ -75,8 +75,37 @@ FaultTrace FaultTrace::generate(int numMachines, double horizonSeconds,
                                 long long numEpochs,
                                 const FaultOptions& options) {
   DSCT_CHECK(numMachines > 0);
+  // Reject degenerate option fields loudly instead of silently sampling an
+  // empty or nonsensical trace.
+  DSCT_CHECK_MSG(options.mtbfSeconds >= 0.0,
+                 "mtbfSeconds must be non-negative (" << options.mtbfSeconds
+                                                      << ")");
+  DSCT_CHECK_MSG(options.mttrSeconds >= 0.0,
+                 "mttrSeconds must be non-negative (" << options.mttrSeconds
+                                                      << ")");
   DSCT_CHECK_MSG(options.mttrSeconds > 0.0 || options.mtbfSeconds <= 0.0,
                  "mttrSeconds must be positive when crashes are enabled");
+  DSCT_CHECK_MSG(options.slowdownMtbfSeconds >= 0.0,
+                 "slowdownMtbfSeconds must be non-negative ("
+                     << options.slowdownMtbfSeconds << ")");
+  DSCT_CHECK_MSG(options.slowdownMeanSeconds >= 0.0,
+                 "slowdownMeanSeconds must be non-negative ("
+                     << options.slowdownMeanSeconds << ")");
+  DSCT_CHECK_MSG(
+      options.slowdownMeanSeconds > 0.0 || options.slowdownMtbfSeconds <= 0.0,
+      "slowdownMeanSeconds must be positive when stragglers are enabled");
+  DSCT_CHECK_MSG(options.slowdownFactor > 0.0 && options.slowdownFactor <= 1.0,
+                 "slowdownFactor must be in (0, 1] ("
+                     << options.slowdownFactor << ")");
+  DSCT_CHECK_MSG(options.budgetShockProbability >= 0.0 &&
+                     options.budgetShockProbability <= 1.0,
+                 "budgetShockProbability must be in [0, 1] ("
+                     << options.budgetShockProbability << ")");
+  DSCT_CHECK_MSG(options.budgetShockFactor >= 0.0,
+                 "budgetShockFactor must be non-negative ("
+                     << options.budgetShockFactor << ")");
+  DSCT_CHECK_MSG(options.maxRetries >= 0, "maxRetries must be non-negative ("
+                                              << options.maxRetries << ")");
   std::vector<std::vector<FaultInterval>> downtime;
   std::vector<std::vector<FaultInterval>> slowdown;
   downtime.reserve(static_cast<std::size_t>(numMachines));

@@ -54,6 +54,9 @@ const char* toString(IncidentKind kind) {
     case IncidentKind::kNoAliveMachines: return "no-alive-machines";
     case IncidentKind::kBudgetShock: return "budget-shock";
     case IncidentKind::kAdmissionShed: return "admission-shed";
+    case IncidentKind::kMachineDeparted: return "machine-departed";
+    case IncidentKind::kBatteryBudgetCapped: return "battery-budget-capped";
+    case IncidentKind::kBatteryExhausted: return "battery-exhausted";
   }
   return "unknown";
 }
@@ -113,6 +116,23 @@ ServingStats runServingImpl(
                                   options.horizonSeconds, numEpochs,
                                   options.faults);
   }
+  // Availability layer (DESIGN.md §15): a seeded departure schedule at
+  // whole-epoch granularity plus per-machine battery stores. Generated only
+  // when enabled, so the default path draws no extra random numbers and
+  // stays bit-identical to the pre-availability driver.
+  AvailabilityTrace avail;
+  BatteryModel battery;
+  if (options.availability.enabled) {
+    const long long numEpochs = static_cast<long long>(
+        std::ceil(options.horizonSeconds / options.epochSeconds));
+    avail = AvailabilityTrace::generate(
+        static_cast<int>(machines.size()), options.horizonSeconds, numEpochs,
+        options.epochSeconds, options.availability);
+    if (avail.batteryActive()) {
+      battery =
+          BatteryModel(static_cast<int>(machines.size()), options.availability);
+    }
+  }
   // The fallback chain (try primary → validate → walk options.fallbackChain)
   // runs only when some guard is active; otherwise scheduling is a single
   // unguarded call exactly as before.
@@ -160,8 +180,20 @@ ServingStats runServingImpl(
   solveCtx.frOpt.sharedCache = crossCache ? &*crossCache : nullptr;
   solveCtx.frOpt.pool = solverPool.get();
   solveCtx.frOpt.parallelCachedEval = options.parallelCachedEval;
+  // Per-epoch availability hints, refilled before each epoch's solves and
+  // handed only to capability-gated solvers. Declared at driver scope so the
+  // async pipeline's context can point at it across the submission.
+  AvailabilityHints epochHints;
+  const auto applyAvailability = [&](SolveContext& ctx, const Solver& solver) {
+    if (!epochHints.machineEnergyCaps.empty() &&
+        solver.capabilities().availabilityAware) {
+      ctx.availability = &epochHints;
+    }
+  };
   const auto scheduleEpoch = [&](const Solver& solver, const Instance& inst) {
-    SolveOutcome outcome = solver.solve(inst, solveCtx);
+    SolveContext ctx = solveCtx;
+    applyAvailability(ctx, solver);
+    SolveOutcome outcome = solver.solve(inst, ctx);
     DSCT_CHECK_MSG(outcome.schedule.has_value(),
                    "solver '" << solver.name()
                               << "' returned no integral schedule");
@@ -174,6 +206,7 @@ ServingStats runServingImpl(
                                    const CancelToken* token) {
     SolveContext ctx = solveCtx;
     ctx.cancel = token;
+    applyAvailability(ctx, solver);
     return solver.solve(inst, ctx);
   };
 
@@ -188,10 +221,12 @@ ServingStats runServingImpl(
   if (options.asyncServing) pipeline = std::make_unique<AsyncSolvePipeline>();
   // Double-buffering is allowed only when executing an epoch cannot change
   // the next epoch's batch or budget: backlog carry-over, fault injection,
+  // availability (battery drain couples execution into the next budget),
   // and admission control all feed execution results back into later
   // epochs, so those modes drain the solve before executing instead.
   const bool overlapEligible = options.asyncServing && !options.carryBacklog &&
                                !options.faults.enabled &&
+                               !options.availability.enabled &&
                                options.admissionLoadFactor <= 0.0;
 
   // In-flight requests. Without backlog carry-over a request lives for one
@@ -266,6 +301,10 @@ ServingStats runServingImpl(
     if (epochStart >= options.horizonSeconds) break;
     const double epochEnd =
         static_cast<double>(epoch + 1) * options.epochSeconds;
+    // Battery recharge at every epoch boundary — including idle or departed
+    // epochs, before any early exits below, so a drained volunteer device
+    // recovers while it sits out.
+    if (battery.active() && epoch > 0) battery.recharge(options.epochSeconds);
     // Admit this epoch's arrivals.
     while (next < arrivalTimes.size() && arrivalTimes[next] < epochEnd) {
       const double arrival = arrivalTimes[next];
@@ -297,10 +336,15 @@ ServingStats runServingImpl(
             epochEnd + options.epochSeconds < options.horizonSeconds;
         const bool carryNormal = options.carryBacklog && !complete &&
                                  hasTimeNextEpoch && nextEpochRuns;
+        // Battery exhaustion spills through the same retry path as crashes
+        // (the executor flags cut tasks `interrupted` either way); both share
+        // options.faults.maxRetries — identical to faults.maxRetries() when
+        // the fault trace is enabled.
+        const bool retryPathActive = faults.enabled() || battery.active();
         const bool carryRetry =
-            faults.enabled() && req.interrupted && !complete &&
+            retryPathActive && req.interrupted && !complete &&
             hasTimeNextEpoch && nextEpochRuns &&
-            req.retryCount <= faults.maxRetries();
+            req.retryCount <= options.faults.maxRetries;
         if (carryNormal || carryRetry) {
           if (req.interrupted) {
             ++stats.retries;
@@ -309,7 +353,7 @@ ServingStats runServingImpl(
           carried.push_back(std::move(req));
         } else {
           if (req.interrupted && !complete && hasTimeNextEpoch &&
-              nextEpochRuns && req.retryCount > faults.maxRetries()) {
+              nextEpochRuns && req.retryCount > options.faults.maxRetries) {
             ++stats.abandoned;
           }
           finalize(req);
@@ -318,16 +362,28 @@ ServingStats runServingImpl(
       active = std::move(carried);
     };
 
-    // Replan against the machines that are actually alive at the epoch
-    // boundary; a machine that recovers mid-epoch rejoins next epoch.
+    // Replan against the machines that are actually in the fleet and alive
+    // at the epoch boundary: departed machines (availability trace) are
+    // excluded for the whole epoch, crashed machines until they recover; a
+    // machine that recovers/returns mid-epoch rejoins next epoch.
     std::vector<int> aliveIdx;
     std::vector<Machine> aliveMachines;
-    if (faults.enabled()) {
+    const bool filterMachines = faults.enabled() || avail.enabled();
+    if (filterMachines) {
+      int departedHere = 0;
       for (int r = 0; r < static_cast<int>(machines.size()); ++r) {
-        if (faults.aliveAt(r, epochStart)) {
-          aliveIdx.push_back(r);
-          aliveMachines.push_back(machines[static_cast<std::size_t>(r)]);
+        if (!avail.presentInEpoch(r, epoch)) {
+          ++departedHere;
+          continue;
         }
+        if (faults.enabled() && !faults.aliveAt(r, epochStart)) continue;
+        aliveIdx.push_back(r);
+        aliveMachines.push_back(machines[static_cast<std::size_t>(r)]);
+      }
+      if (departedHere > 0) {
+        stats.machineDepartures += departedHere;
+        stats.incidents.push_back({epoch, IncidentKind::kMachineDeparted,
+                                   static_cast<double>(departedHere)});
       }
       if (aliveIdx.empty()) {
         ++stats.noMachineEpochs;
@@ -338,7 +394,7 @@ ServingStats runServingImpl(
       }
     }
     const std::vector<Machine>& instMachines =
-        faults.enabled() ? aliveMachines : machines;
+        filterMachines ? aliveMachines : machines;
 
     // Admission control: shed the requests with the least remaining accuracy
     // headroom when the batch exceeds the configured load factor.
@@ -405,6 +461,26 @@ ServingStats runServingImpl(
       ++stats.budgetShockEpochs;
       stats.incidents.push_back({epoch, IncidentKind::kBudgetShock, shock});
     }
+    // Battery coupling: the fleet cannot spend energy it has not stored, so
+    // the epoch budget is capped at Σ charge over the present machines.
+    // Per-machine caps are also handed to availability-aware solvers so they
+    // can avoid over-assigning a nearly-empty machine in the first place.
+    epochHints.machineEnergyCaps.clear();
+    if (battery.active()) {
+      double stored = 0.0;
+      epochHints.machineEnergyCaps.reserve(aliveIdx.size());
+      for (int r : aliveIdx) {
+        const double charge = battery.charge(r);
+        stored += charge;
+        epochHints.machineEnergyCaps.push_back(charge);
+      }
+      if (options.availability.capGlobalBudget && stored < budget) {
+        budget = stored;
+        ++stats.batteryCappedEpochs;
+        stats.incidents.push_back(
+            {epoch, IncidentKind::kBatteryBudgetCapped, stored});
+      }
+    }
     Instance inst(tasks, instMachines, budget);
 
     // Async serving: submit the primary solve to the pipeline thread BEFORE
@@ -425,6 +501,7 @@ ServingStats runServingImpl(
                             faults.injectFailureDepth() > 0;
       if (!injected) {
         asyncPrimary.ctx = solveCtx;
+        applyAvailability(asyncPrimary.ctx, primary);
         if (guarded && options.epochTimeLimitSeconds > 0.0) {
           asyncPrimary.granted = options.epochTimeLimitSeconds;
           asyncPrimary.start = nowSeconds();
@@ -599,7 +676,46 @@ ServingStats runServingImpl(
       ctx.timeOffset = epochStart;
       ctx.machineMap = aliveIdx;
     }
+    // Battery discounting: a machine whose store cannot cover the energy of
+    // its assigned timeline is cut at the instant the store runs dry — the
+    // same semantics as a crash, so the residual spills through the existing
+    // retry/backlog path. Machines within their charge keep the exact
+    // unfaulted execution (empty cut vector, +inf cuts elsewhere).
+    if (battery.active()) {
+      std::vector<double> cuts(instMachines.size(),
+                               std::numeric_limits<double>::infinity());
+      int exhaustedHere = 0;
+      for (std::size_t i = 0; i < instMachines.size(); ++i) {
+        const double power = instMachines[i].power();
+        double assignedSeconds = 0.0;
+        for (const ScheduledTask& e : sched.timeline(static_cast<int>(i))) {
+          assignedSeconds += e.duration;
+        }
+        const double assigned = assignedSeconds * power;
+        const double charge = battery.charge(aliveIdx[i]);
+        if (assigned > charge + 1e-9) {
+          cuts[i] = power > 0.0
+                        ? charge / power
+                        : std::numeric_limits<double>::infinity();
+          ++exhaustedHere;
+        }
+      }
+      if (exhaustedHere > 0) {
+        ctx.energyCutSeconds = std::move(cuts);
+        stats.batteryExhaustions += exhaustedHere;
+        stats.incidents.push_back({epoch, IncidentKind::kBatteryExhausted,
+                                   static_cast<double>(exhaustedHere)});
+      }
+    }
     const ExecutionResult exec = executeSchedule(inst, sched, CommModel{}, ctx);
+    if (battery.active()) {
+      // Drain by the energy actually consumed (busy seconds × power), which
+      // a cut bounds at the machine's stored charge up to rounding.
+      for (std::size_t i = 0; i < instMachines.size(); ++i) {
+        battery.drain(aliveIdx[i],
+                      exec.machineBusySeconds[i] * instMachines[i].power());
+      }
+    }
 
     stats.totalEnergy += exec.totalEnergy;
     for (int j = 0; j < inst.numTasks(); ++j) {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "sched/types.h"
+#include "sim/availability.h"
 #include "sim/cluster.h"
 #include "sim/faults.h"
 #include "util/cancel.h"
@@ -62,6 +63,14 @@ struct ServingOptions {
   /// budget for interrupted requests. When `faults.enabled` is false the
   /// driver takes the exact pre-fault code path (regression-pinned).
   FaultOptions faults;
+  /// Availability layer (DESIGN.md §15): seeded departure/return windows
+  /// exclude machines from whole epochs, and a per-machine battery drains
+  /// with executed work and recharges at a fixed rate — capping the epoch
+  /// budget at the fleet's stored energy and cutting machines that run dry
+  /// (the residual spills through the faults retry/backlog path, bounded by
+  /// faults.maxRetries). When `availability.enabled` is false the driver
+  /// takes the exact pre-availability code path (regression-pinned).
+  AvailabilityOptions availability;
   /// Admission control: when > 0, at most ceil(admissionLoadFactor × alive
   /// machines) requests enter an epoch's batch; the excess requests with the
   /// least remaining accuracy headroom are shed (finalized at their current
@@ -134,6 +143,9 @@ enum class IncidentKind {
   kNoAliveMachines,   ///< every machine was down at the epoch boundary
   kBudgetShock,       ///< epoch budget scaled by the shock factor
   kAdmissionShed,     ///< requests shed by admission control
+  kMachineDeparted,   ///< machines out of the fleet this epoch (availability)
+  kBatteryBudgetCapped,  ///< epoch budget capped at the fleet's stored energy
+  kBatteryExhausted,  ///< machines whose battery ran dry mid-epoch
 };
 
 const char* toString(IncidentKind kind);
@@ -147,6 +159,9 @@ struct EpochIncident {
   ///    was previously misdocumented);
   ///  - kBudgetShock: the budget shock factor;
   ///  - kAdmissionShed: number of requests shed;
+  ///  - kMachineDeparted: number of machines departed this epoch;
+  ///  - kBatteryBudgetCapped: the capped budget (Σ present stored energy, J);
+  ///  - kBatteryExhausted: number of machines cut dry this epoch;
   ///  - 0 for every other kind.
   double value = 0.0;
   /// Attempt depth for kPolicyTimeout (0 = primary policy, k > 0 = k-th
@@ -179,7 +194,13 @@ struct ServingStats {
                                ///< async pipeline thread
   int validatorRejections = 0; ///< schedules rejected by the validator gate
   int budgetShockEpochs = 0;
-  int noMachineEpochs = 0;     ///< epochs with every machine crashed
+  int noMachineEpochs = 0;     ///< epochs with every machine crashed/departed
+
+  // Availability counters (all zero when availability is off).
+  int machineDepartures = 0;   ///< machine-epochs spent out of the fleet
+  int batteryExhaustions = 0;  ///< machines cut mid-epoch by an empty store
+  int batteryCappedEpochs = 0; ///< epochs whose budget the fleet's stored
+                               ///< energy capped below the granted budget
   std::vector<EpochIncident> incidents;
 
   // Cross-solve ProfileCache traffic over the whole run (all zero when

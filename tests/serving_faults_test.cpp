@@ -101,6 +101,30 @@ TEST(ServingGolden, DefaultPathRenewableBitIdentical) {
   EXPECT_DOUBLE_EQ(s.meanLatency, 0.36691141180828091);
 }
 
+TEST(ServingGolden, AvailabilityDefaultsPreserveGoldenPin) {
+  // availability.enabled defaults to false; even with every other
+  // availability knob set, the disabled layer must not perturb the pinned
+  // default path by a single bit (no RNG draws, no machine filtering).
+  const auto machines = machinesFromCatalog({"T4", "V100"});
+  auto options = referenceOptions();
+  options.availability.seed = 777;
+  options.availability.departMtbfSeconds = 0.5;
+  options.availability.departMeanSeconds = 2.0;
+  options.availability.batteryCapacityJoules = 5.0;
+  options.availability.rechargeWatts = 1.0;
+  ASSERT_FALSE(options.availability.enabled);
+  const auto s = sim::runServing(machines, sim::Policy::kApprox, options);
+  EXPECT_EQ(s.requests, 99);
+  EXPECT_EQ(s.served, 77);
+  EXPECT_DOUBLE_EQ(s.meanAccuracy, 0.32768861033259078);
+  EXPECT_DOUBLE_EQ(s.totalEnergy, 399.99999999999994);
+  EXPECT_DOUBLE_EQ(s.meanLatency, 0.33759255283732392);
+  EXPECT_EQ(s.machineDepartures, 0);
+  EXPECT_EQ(s.batteryExhaustions, 0);
+  EXPECT_EQ(s.batteryCappedEpochs, 0);
+  EXPECT_TRUE(s.incidents.empty());
+}
+
 // ------------------------------------------------------------ satellites --
 
 TEST(ServingOptionsCheck, ExplicitTraceDoesNotRequirePositiveRate) {

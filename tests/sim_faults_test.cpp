@@ -108,6 +108,75 @@ TEST(FaultTrace, RejectsUnsortedIntervalsAndBadFactor) {
   EXPECT_THROW(sim::FaultTrace({{}}, {{}}, 1.5, {}, {}, 2), CheckError);
 }
 
+TEST(FaultTrace, GenerateValidatesEachOptionFieldLoudly) {
+  // Every degenerate field is rejected at trace-sampling time, one
+  // regression per field (the pre-validation driver silently sampled an
+  // empty or nonsensical trace instead).
+  sim::FaultOptions good;
+  good.enabled = true;
+  good.mtbfSeconds = 3.0;
+  good.mttrSeconds = 1.0;
+  const auto generate = [](const sim::FaultOptions& o) {
+    return sim::FaultTrace::generate(2, 10.0, 20, o);
+  };
+  EXPECT_NO_THROW(generate(good));
+  {
+    auto o = good;
+    o.mtbfSeconds = -1.0;
+    EXPECT_THROW(generate(o), CheckError);
+  }
+  {
+    auto o = good;
+    o.mttrSeconds = -0.5;
+    EXPECT_THROW(generate(o), CheckError);
+  }
+  {
+    auto o = good;
+    o.mttrSeconds = 0.0;  // crashes enabled → repair time must be positive
+    EXPECT_THROW(generate(o), CheckError);
+  }
+  {
+    auto o = good;
+    o.slowdownMtbfSeconds = -2.0;
+    EXPECT_THROW(generate(o), CheckError);
+  }
+  {
+    auto o = good;
+    o.slowdownMeanSeconds = -1.0;
+    EXPECT_THROW(generate(o), CheckError);
+  }
+  {
+    auto o = good;
+    o.slowdownMtbfSeconds = 2.0;
+    o.slowdownMeanSeconds = 0.0;  // stragglers enabled → mean must be > 0
+    EXPECT_THROW(generate(o), CheckError);
+  }
+  {
+    auto o = good;
+    o.slowdownFactor = 0.0;  // validated even with stragglers disabled
+    EXPECT_THROW(generate(o), CheckError);
+    o.slowdownFactor = 1.5;
+    EXPECT_THROW(generate(o), CheckError);
+  }
+  {
+    auto o = good;
+    o.budgetShockProbability = -0.1;
+    EXPECT_THROW(generate(o), CheckError);
+    o.budgetShockProbability = 1.1;
+    EXPECT_THROW(generate(o), CheckError);
+  }
+  {
+    auto o = good;
+    o.budgetShockFactor = -0.3;
+    EXPECT_THROW(generate(o), CheckError);
+  }
+  {
+    auto o = good;
+    o.maxRetries = -1;
+    EXPECT_THROW(generate(o), CheckError);
+  }
+}
+
 TEST(FaultTrace, InjectedPolicyFailures) {
   const sim::FaultTrace trace({{}}, {{}}, 1.0, {}, {7, 2}, 1);
   EXPECT_TRUE(trace.policyFailureInjected(2));

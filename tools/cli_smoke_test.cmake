@@ -43,3 +43,17 @@ run_step(${CLI} serve --policy approx --horizon 2 --backlog --faults
          --max-retries 2 --load-factor 8 --incidents)
 run_step(${CLI} serve --policy levels-opt --fallback edf,edf3 --horizon 2
          --faults --fault-seed 99 --mtbf 1.5 --mttr 0.8 --incidents)
+# Availability layer: departures + battery, with the incident log exported
+# as CSV.
+set(incidents_csv ${WORKDIR}/cli_incidents.csv)
+run_step(${CLI} serve --policy approx --horizon 2 --backlog --avail
+         --avail-seed 7 --depart-mtbf 1.5 --depart-mean 1 --battery 12
+         --battery-init 0.8 --recharge 10 --incidents
+         --incidents-csv ${incidents_csv})
+if(NOT EXISTS ${incidents_csv})
+  message(FATAL_ERROR "--incidents-csv did not write ${incidents_csv}")
+endif()
+file(READ ${incidents_csv} incidents_head)
+if(NOT incidents_head MATCHES "epoch,kind,depth,payload")
+  message(FATAL_ERROR "incident CSV misses its header:\n${incidents_head}")
+endif()

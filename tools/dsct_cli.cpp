@@ -15,6 +15,9 @@
 //            [--slow-mtbf S] [--slow-mean S] [--slow-factor F]
 //            [--shock-prob P] [--shock-factor F] [--max-retries N]
 //            [--epoch-time-limit S] [--async] [--incidents]
+//            [--avail] [--avail-seed N] [--depart-mtbf S] [--depart-mean S]
+//            [--battery J] [--battery-init F] [--recharge W]
+//            [--no-battery-cap] [--incidents-csv FILE]
 //
 // `--algo` and `--policy` accept any name or alias from the solver registry
 // (run `dsct_cli solvers` for the list); `--policy` and `--fallback` are
@@ -23,6 +26,7 @@
 // Exit code 0 on success (and, for `validate`, a feasible schedule);
 // 1 on usage errors, 2 on infeasibility.
 #include <iostream>
+#include <limits>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -30,6 +34,7 @@
 #include <vector>
 
 #include "dsct/dsct.h"
+#include "util/csv.h"
 
 namespace {
 
@@ -90,6 +95,9 @@ int usage() {
       "           [--slow-mtbf S] [--slow-mean S] [--slow-factor F]\n"
       "           [--shock-prob P] [--shock-factor F] [--max-retries N]\n"
       "           [--epoch-time-limit S] [--async] [--incidents]\n"
+      "           [--avail] [--avail-seed N] [--depart-mtbf S]\n"
+      "           [--depart-mean S] [--battery J] [--battery-init F]\n"
+      "           [--recharge W] [--no-battery-cap] [--incidents-csv FILE]\n"
       "\n"
       "NAME is any solver name or alias from `dsct_cli solvers`.\n";
   return 1;
@@ -123,6 +131,7 @@ int cmdSolvers(const Args&) {
     if (caps.exact) flags += "exact ";
     if (caps.usesProfileCache) flags += "cache ";
     if (caps.usesThreadPool) flags += "pool ";
+    if (caps.availabilityAware) flags += "avail ";
     if (!caps.deterministic) flags += "nondeterministic ";
     if (!flags.empty()) flags.pop_back();
     table.addRow({solver->name(), aliases.empty() ? "-" : aliases,
@@ -301,6 +310,18 @@ int cmdServe(const Args& args) {
   // double-buffered pipeline; see ServingOptions for semantics.
   options.epochTimeLimitSeconds = args.getDouble("epoch-time-limit", 0.0);
   options.asyncServing = args.has("async");
+  // Availability layer: departing/returning machines and battery-budgeted
+  // fleets (DESIGN.md §15).
+  options.availability.enabled = args.has("avail");
+  options.availability.seed =
+      static_cast<std::uint64_t>(args.getInt("avail-seed", 2025));
+  options.availability.departMtbfSeconds = args.getDouble("depart-mtbf", 0.0);
+  options.availability.departMeanSeconds = args.getDouble("depart-mean", 1.0);
+  options.availability.batteryCapacityJoules = args.getDouble("battery", 0.0);
+  options.availability.batteryInitialFraction =
+      args.getDouble("battery-init", 1.0);
+  options.availability.rechargeWatts = args.getDouble("recharge", 0.0);
+  options.availability.capGlobalBudget = !args.has("no-battery-cap");
 
   const sim::ServingStats s = sim::runServing(machines, policy, options);
   std::cout << "policy         : " << primary->displayName() << '\n'
@@ -323,6 +344,26 @@ int cmdServe(const Args& args) {
   if (options.epochTimeLimitSeconds > 0.0 || options.asyncServing) {
     std::cout << "solve timeouts : " << s.policyTimeouts << '\n'
               << "async epochs   : " << s.asyncEpochs << '\n';
+  }
+  if (options.availability.enabled) {
+    std::cout << "departures     : " << s.machineDepartures
+              << " machine-epochs\n"
+              << "battery        : " << s.batteryExhaustions
+              << " exhaustions, " << s.batteryCappedEpochs
+              << " budget-capped epochs\n";
+  }
+  if (args.has("incidents-csv")) {
+    const std::string path = args.get("incidents-csv", "");
+    CsvWriter csv(path, {"epoch", "kind", "depth", "payload"});
+    for (const sim::EpochIncident& incident : s.incidents) {
+      std::ostringstream payload;
+      payload.precision(std::numeric_limits<double>::max_digits10);
+      payload << incident.value;
+      csv.addRow({std::to_string(incident.epoch), toString(incident.kind),
+                  std::to_string(incident.depth), payload.str()});
+    }
+    std::cout << "incident log   : " << s.incidents.size() << " rows to "
+              << path << '\n';
   }
   if (args.has("incidents")) {
     for (const sim::EpochIncident& incident : s.incidents) {
