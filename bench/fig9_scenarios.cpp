@@ -1,0 +1,84 @@
+// Fig. 9 (extension): the scenario zoo swept across the serving policies.
+// Loads every *.dsct file in the repo zoo (DESIGN.md §16), materialises its
+// fleet and request trace, and serves it under each integral policy in the
+// solver registry — the declarative counterpart of fig7/fig8, where the
+// workload shape (diurnal swing, flash crowd, MMPP bursts, SLA tiers,
+// volunteer fleets) is data rather than code. Reports delivered accuracy,
+// deadline misses, and the SLA-weighted miss penalty per scenario × policy.
+// This figure is not in the paper: it characterises the scenario DSL layer.
+//
+// CSV schema:
+//   sweep,param,variant,accuracy,deadline_misses,energy_joules,
+//   retries,fallbacks,shed
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "sim/serving.h"
+#include "util/csv.h"
+#include "util/table.h"
+#include "workload/scenario.h"
+
+int main() {
+  using namespace dsct;
+  bench::printHeader("Fig. 9 — scenario zoo across serving policies",
+                     "scenario DSL extension (not in the paper)");
+
+  // Quick mode clamps every scenario to a short prefix so the million-task
+  // stress file stays tractable; full mode serves each file's own horizon
+  // (still capping the stress file at 20 s ≈ 100k requests).
+  const double horizonCap = bench::fullScale() ? 20.0 : 3.0;
+
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(DSCT_SCENARIO_DIR)) {
+    if (entry.path().extension() == ".dsct") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+
+  // Every integral registry policy except the exact MIPs — branch-and-bound
+  // on the stress file's thousands-of-tasks epochs is hours, not a sweep.
+  std::vector<std::string> policies;
+  for (const Solver* solver : SolverRegistry::instance().solvers()) {
+    const SolverCapabilities caps = solver->capabilities();
+    if (caps.integral && !caps.exact) policies.push_back(solver->name());
+  }
+
+  Table table({"scenario", "policy", "requests", "accuracy", "misses",
+               "miss penalty", "energy J"});
+  CsvWriter csv("fig9_scenarios.csv",
+                {"sweep", "param", "variant", "accuracy", "deadline_misses",
+                 "energy_joules", "retries", "fallbacks", "shed"});
+
+  for (const std::filesystem::path& path : files) {
+    Scenario sc = loadScenarioFile(path.string());
+    sc.serving.horizonSeconds =
+        std::min(sc.serving.horizonSeconds, horizonCap);
+    const std::vector<Machine> machines = materializeMachines(sc);
+    const sim::ServingOptions options = makeServingOptions(sc);
+    for (const std::string& policy : policies) {
+      const sim::ServingStats s = sim::runServing(machines, policy, options);
+      table.addRow({sc.name, policy, std::to_string(s.requests),
+                    formatFixed(s.meanAccuracy, 4),
+                    std::to_string(s.deadlineMisses),
+                    formatFixed(s.missPenalty, 2),
+                    formatFixed(s.totalEnergy, 1)});
+      csv.addRow(std::vector<std::string>{
+          "scenario", sc.name,
+          SolverRegistry::instance().resolve(policy).displayName(),
+          std::to_string(s.meanAccuracy), std::to_string(s.deadlineMisses),
+          std::to_string(s.totalEnergy), std::to_string(s.retries),
+          std::to_string(s.fallbacks), std::to_string(s.shed)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\ntakeaway: the compression-aware policies hold accuracy "
+               "through the diurnal swing and flash crowd where the "
+               "no-compression EDF baseline starts missing deadlines, and "
+               "the SLA-weighted miss penalty separates gold-tier misses "
+               "from cheap bronze ones that the raw miss count conflates.\n";
+  return 0;
+}

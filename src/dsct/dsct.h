@@ -54,3 +54,4 @@
 #include "workload/generator.h"
 #include "workload/gpu_catalog.h"
 #include "workload/model_catalog.h"
+#include "workload/scenario.h"

@@ -81,7 +81,23 @@ ServingStats runServingImpl(
     const std::function<double(double, double)>& budgetFor) {
   DSCT_CHECK(!machines.empty());
   DSCT_CHECK(options.epochSeconds > 0.0);
-  if (options.arrivalTimes.empty()) {
+  const bool hasRequestTrace = !options.requestTrace.empty();
+  if (hasRequestTrace) {
+    DSCT_CHECK_MSG(options.arrivalTimes.empty(),
+                   "requestTrace and arrivalTimes are mutually exclusive");
+    for (std::size_t i = 0; i < options.requestTrace.size(); ++i) {
+      const RequestSpec& spec = options.requestTrace[i];
+      DSCT_CHECK_MSG(spec.relDeadline > 0.0 && spec.theta > 0.0 &&
+                         spec.missPenalty >= 0.0,
+                     "requestTrace[" << i << "] has relDeadline "
+                                     << spec.relDeadline << ", theta "
+                                     << spec.theta << ", missPenalty "
+                                     << spec.missPenalty);
+      DSCT_CHECK_MSG(i == 0 || options.requestTrace[i - 1].arrival <=
+                                   spec.arrival,
+                     "requestTrace arrivals must be ascending");
+    }
+  } else if (options.arrivalTimes.empty()) {
     // The rate feeds the Poisson generator only; an explicit arrival trace
     // makes it irrelevant and must not be rejected.
     DSCT_CHECK_MSG(options.arrivalRatePerSecond > 0.0,
@@ -90,9 +106,15 @@ ServingStats runServingImpl(
   }
 
   Rng rng(options.seed);
-  // Arrival stream: caller-provided times or a Poisson process.
+  // Arrival stream: a fully specified request trace, caller-provided times,
+  // or a Poisson process.
   std::vector<double> arrivalTimes = options.arrivalTimes;
-  if (arrivalTimes.empty()) {
+  if (hasRequestTrace) {
+    arrivalTimes.reserve(options.requestTrace.size());
+    for (const RequestSpec& spec : options.requestTrace) {
+      arrivalTimes.push_back(spec.arrival);
+    }
+  } else if (arrivalTimes.empty()) {
     double t = rng.exponential(options.arrivalRatePerSecond);
     while (t < options.horizonSeconds) {
       arrivalTimes.push_back(t);
@@ -242,6 +264,7 @@ ServingStats runServingImpl(
     double lastFinish = 0.0;  ///< absolute completion time of the last slice
     int retryCount = 0;       ///< epochs in which this request was interrupted
     bool interrupted = false; ///< interrupted in the current epoch
+    double missPenalty = 1.0; ///< SLA weight per missed deadline
   };
   std::vector<Active> active;
   std::size_t next = 0;  // next unconsumed arrival
@@ -255,6 +278,14 @@ ServingStats runServingImpl(
     if (req.flopsDone > 0.0) {
       ++stats.served;
       latencySum += req.lastFinish - req.arrival;
+    } else if (hasRequestTrace &&
+               req.absoluteDeadline <= options.horizonSeconds) {
+      // SLA accounting for supplied traces: a request whose deadline expired
+      // inside the horizon without receiving any service missed its SLA.
+      // Only trace mode counts these — the legacy generator path keeps its
+      // executed-late-only semantics bit-identically.
+      ++stats.deadlineMisses;
+      stats.missPenalty += req.missPenalty;
     }
   };
 
@@ -286,7 +317,10 @@ ServingStats runServingImpl(
         req.flopsDone += te.flops;
         req.lastFinish = p.epochEnd + te.finish;
       }
-      if (!te.deadlineMet) ++stats.deadlineMisses;
+      if (!te.deadlineMet) {
+        ++stats.deadlineMisses;
+        stats.missPenalty += req.missPenalty;
+      }
     }
     for (const Active& req : p.batch) finalize(req);
     pendingExec.reset();
@@ -305,17 +339,28 @@ ServingStats runServingImpl(
     // epochs, before any early exits below, so a drained volunteer device
     // recovers while it sits out.
     if (battery.active() && epoch > 0) battery.recharge(options.epochSeconds);
-    // Admit this epoch's arrivals.
+    // Admit this epoch's arrivals. A request trace supplies the per-request
+    // deadline/θ/penalty directly (no RNG draws); otherwise both are drawn
+    // from the workload RNG exactly as before.
     while (next < arrivalTimes.size() && arrivalTimes[next] < epochEnd) {
       const double arrival = arrivalTimes[next];
-      const double deadline =
-          arrival + rng.uniform(options.relDeadlineLo, options.relDeadlineHi);
+      double relDeadline, theta, missPenalty;
+      if (hasRequestTrace) {
+        const RequestSpec& spec = options.requestTrace[next];
+        relDeadline = spec.relDeadline;
+        theta = spec.theta;
+        missPenalty = spec.missPenalty;
+      } else {
+        relDeadline =
+            rng.uniform(options.relDeadlineLo, options.relDeadlineHi);
+        theta = rng.uniform(options.thetaLo, options.thetaHi);
+        missPenalty = 1.0;
+      }
       active.push_back(Active{
-          arrival, deadline,
-          makePaperAccuracy(options.amin, options.amax,
-                            rng.uniform(options.thetaLo, options.thetaHi),
+          arrival, arrival + relDeadline,
+          makePaperAccuracy(options.amin, options.amax, theta,
                             options.segments),
-          0.0, 0.0, 0, false});
+          0.0, 0.0, 0, false, missPenalty});
       ++next;
     }
     if (active.empty()) continue;
@@ -730,7 +775,10 @@ ServingStats runServingImpl(
         ++req.retryCount;
         ++stats.interruptions;
       }
-      if (!te.deadlineMet) ++stats.deadlineMisses;
+      if (!te.deadlineMet) {
+        ++stats.deadlineMisses;
+        stats.missPenalty += req.missPenalty;
+      }
     }
 
     retire();

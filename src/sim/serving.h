@@ -33,12 +33,34 @@ const char* toString(Policy policy);
 /// Registry name of the solver backing `policy` ("approx", "edf", "edf3").
 const char* policyName(Policy policy);
 
+/// One externally supplied serving request: arrival time plus the
+/// per-request attributes the driver would otherwise draw from its own RNG.
+/// The scenario DSL (workload/scenario.h) materialises task classes into a
+/// RequestSpec trace; hand-built traces work the same way. `missPenalty` is
+/// the request's SLA weight, added to ServingStats::missPenalty every time
+/// the request misses a deadline — executed past it, or (trace mode only)
+/// expired inside the horizon without receiving any service.
+struct RequestSpec {
+  double arrival = 0.0;      ///< seconds from the run start, ascending
+  double relDeadline = 1.0;  ///< relative deadline (s), > 0
+  double theta = 1.0;        ///< task efficiency θ, > 0
+  double missPenalty = 1.0;  ///< SLA miss-penalty weight, >= 0
+
+  friend bool operator==(const RequestSpec&, const RequestSpec&) = default;
+};
+
 struct ServingOptions {
   double arrivalRatePerSecond = 20.0;
   /// Explicit arrival times (seconds, ascending, < horizon); when non-empty
   /// they replace the internally generated Poisson stream — use with
   /// ArrivalProcess::diurnal for day/night load shapes.
   std::vector<double> arrivalTimes;
+  /// Fully specified request trace (ascending arrivals). When non-empty it
+  /// replaces BOTH the arrival stream and the per-request deadline/θ draws:
+  /// no workload RNG is consumed for admitted requests, so a trace replays
+  /// bit-identically regardless of `seed`. Mutually exclusive with
+  /// `arrivalTimes`.
+  std::vector<RequestSpec> requestTrace;
   double horizonSeconds = 10.0;
   double epochSeconds = 1.0;
   /// Relative deadline drawn uniformly from this range (seconds).
@@ -175,7 +197,15 @@ struct EpochIncident {
 struct ServingStats {
   int requests = 0;
   int served = 0;            ///< requests that executed with > 0 FLOPs
+  /// Tasks executed past their deadline; with a request trace, additionally
+  /// requests whose deadline expired inside the horizon with zero service
+  /// (dropped requests violated their SLA). The generator path keeps the
+  /// executed-late-only semantics bit-identically.
   int deadlineMisses = 0;
+  /// Σ RequestSpec::missPenalty over missed deadlines — the SLA-weighted
+  /// companion of deadlineMisses (equal to it when every weight is 1, e.g.
+  /// whenever no request trace is supplied).
+  double missPenalty = 0.0;
   double meanAccuracy = 0.0; ///< over all requests (dropped count a_min)
   double totalEnergy = 0.0;  ///< J over the whole run
   double meanLatency = 0.0;  ///< completion − arrival, over served requests

@@ -1,8 +1,17 @@
 // Arrival processes for the serving simulator.
 //
-// Homogeneous Poisson plus a non-homogeneous (thinning-sampled) diurnal
-// process: social-network style inference load with a smooth day/night
-// cycle, λ(t) = base + (peak − base)·(1 − cos(2πt/period))/2.
+// Four load shapes, all sampled deterministically from an explicit Rng:
+//  * Poisson       — homogeneous rate λ.
+//  * Diurnal       — non-homogeneous (thinning-sampled) day/night cycle,
+//                    λ(t) = base + (peak − base)·(1 − cos(2πt/period))/2.
+//  * MMPP          — 2-state Markov-modulated Poisson process (bursty load):
+//                    an alternating low/high modulating chain with
+//                    exponential dwell times; arrivals are Poisson at the
+//                    current state's rate.
+//  * Flash crowd   — a baseline rate with a sudden spike at a fixed time
+//                    decaying exponentially back to the baseline,
+//                    λ(t) = base + base·(burst − 1)·e^{−(t−t₀)/decay} for
+//                    t ≥ t₀ (viral-event load).
 #pragma once
 
 #include <vector>
@@ -13,6 +22,8 @@ namespace dsct {
 
 class ArrivalProcess {
  public:
+  enum class Kind { kPoisson, kDiurnal, kMmpp, kFlashCrowd };
+
   /// Constant rate λ (requests/second).
   static ArrivalProcess poisson(double ratePerSecond);
 
@@ -22,22 +33,48 @@ class ArrivalProcess {
                                 double peakRatePerSecond,
                                 double periodSeconds);
 
-  /// Rate λ(t).
+  /// 2-state MMPP: the chain starts in the low state, dwells are
+  /// exponential with the given means, and arrivals within a state are
+  /// Poisson at that state's rate. Both rates and both dwell means must be
+  /// positive.
+  static ArrivalProcess mmpp(double rateLowPerSecond, double rateHighPerSecond,
+                             double meanLowDwellSeconds,
+                             double meanHighDwellSeconds);
+
+  /// Flash crowd: baseline rate everywhere, times `burstFactor` (>= 1) at
+  /// t = startSeconds, decaying exponentially back to the baseline with the
+  /// given time constant.
+  static ArrivalProcess flashCrowd(double baseRatePerSecond,
+                                   double burstFactor, double startSeconds,
+                                   double decaySeconds);
+
+  Kind kind() const { return kind_; }
+
+  /// Rate λ(t). For MMPP the modulating chain is random, so this reports
+  /// the *stationary mean* rate — sample() is the real semantics.
   double rateAt(double t) const;
 
-  /// Sample arrival times in [0, horizon) by thinning (exact for any
-  /// bounded λ).
+  /// Sample arrival times in [0, horizon). Poisson, diurnal, and flash
+  /// crowd are thinning-sampled (exact for any bounded λ); MMPP simulates
+  /// the modulating chain and draws homogeneous arrivals per dwell segment.
   std::vector<double> sample(double horizonSeconds, Rng& rng) const;
 
   double maxRate() const { return peak_; }
 
  private:
-  ArrivalProcess(double base, double peak, double period)
-      : base_(base), peak_(peak), period_(period) {}
+  ArrivalProcess(Kind kind, double base, double peak, double period)
+      : kind_(kind), base_(base), peak_(peak), period_(period) {}
 
-  double base_;
-  double peak_;
-  double period_;  ///< <= 0 means constant rate
+  std::vector<double> sampleMmpp(double horizonSeconds, Rng& rng) const;
+
+  Kind kind_ = Kind::kPoisson;
+  double base_;    ///< poisson/diurnal/flash base rate; MMPP low rate
+  double peak_;    ///< max rate (thinning envelope); MMPP high rate
+  double period_;  ///< diurnal period; <= 0 means constant rate
+  double startSeconds_ = 0.0;  ///< flash crowd: spike time
+  double decaySeconds_ = 1.0;  ///< flash crowd: decay time constant
+  double dwellLow_ = 1.0;      ///< MMPP: mean low-state dwell (s)
+  double dwellHigh_ = 1.0;     ///< MMPP: mean high-state dwell (s)
 };
 
 }  // namespace dsct

@@ -57,3 +57,62 @@ file(READ ${incidents_csv} incidents_head)
 if(NOT incidents_head MATCHES "epoch,kind,depth,payload")
   message(FATAL_ERROR "incident CSV misses its header:\n${incidents_head}")
 endif()
+
+# Scenario DSL surface. `scenarios` must list the whole zoo without a parse
+# error; serve --scenario must replay bit-identically run-to-run; explicit
+# flags must override the file's values.
+run_step(${CLI} scenarios ${SCENARIO_DIR})
+foreach(name steady_web diurnal flash_crowd mixed_sla volunteer_fleet
+        million_tasks)
+  if(NOT last_out MATCHES "${name}")
+    message(FATAL_ERROR "`scenarios` output misses '${name}':\n${last_out}")
+  endif()
+endforeach()
+
+run_step(${CLI} serve --scenario ${SCENARIO_DIR}/diurnal.dsct --seed 7)
+set(serve_a "${last_out}")
+run_step(${CLI} serve --scenario ${SCENARIO_DIR}/diurnal.dsct --seed 7)
+if(NOT serve_a STREQUAL last_out)
+  message(FATAL_ERROR
+          "serve --scenario is not bit-identical across runs:\n"
+          "${serve_a}\n---\n${last_out}")
+endif()
+if(NOT serve_a MATCHES "scenario       : diurnal")
+  message(FATAL_ERROR "serve --scenario misses the scenario line:\n${serve_a}")
+endif()
+
+# Flag override: a different seed must change the run, a clamped horizon must
+# shrink the epoch count (12 s / 0.5 s = 24 epochs → 2 s / 0.5 s = 4).
+run_step(${CLI} serve --scenario ${SCENARIO_DIR}/diurnal.dsct --seed 8)
+if(serve_a STREQUAL last_out)
+  message(FATAL_ERROR "--seed override did not change the scenario run")
+endif()
+run_step(${CLI} serve --scenario ${SCENARIO_DIR}/diurnal.dsct --seed 7
+         --horizon 2 --policy edf3)
+if(NOT last_out MATCHES "over 4 epochs")
+  message(FATAL_ERROR "--horizon override did not clamp the run:\n${last_out}")
+endif()
+
+# Availability scenario end-to-end, and the million-task stress file with the
+# horizon clamped to keep the smoke test fast.
+run_step(${CLI} serve --scenario ${SCENARIO_DIR}/volunteer_fleet.dsct
+         --horizon 3)
+run_step(${CLI} serve --scenario ${SCENARIO_DIR}/million_tasks.dsct
+         --horizon 2)
+
+# Conflicting flags and malformed files fail loudly.
+execute_process(COMMAND ${CLI} serve --scenario ${SCENARIO_DIR}/diurnal.dsct
+                --gpus T4 RESULT_VARIABLE code OUTPUT_QUIET ERROR_QUIET)
+if(code EQUAL 0)
+  message(FATAL_ERROR "serve --scenario --gpus should have been rejected")
+endif()
+file(WRITE ${WORKDIR}/cli_bad.dsct "machine class {\n  bogus: 1\n}\n")
+execute_process(COMMAND ${CLI} serve --scenario ${WORKDIR}/cli_bad.dsct
+                RESULT_VARIABLE code OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(code EQUAL 0)
+  message(FATAL_ERROR "malformed scenario should have failed")
+endif()
+if(NOT "${out}${err}" MATCHES "cli_bad.dsct:2")
+  message(FATAL_ERROR
+          "malformed-scenario diagnostic misses file:line:\n${out}\n${err}")
+endif()

@@ -8,7 +8,9 @@
 //   dsct_cli info INSTANCE [--tasks]
 //   dsct_cli validate INSTANCE SCHEDULE
 //   dsct_cli simulate INSTANCE SCHEDULE [--trace]
-//   dsct_cli serve [--policy NAME] [--fallback NAME,NAME,...]
+//   dsct_cli scenarios [DIR]
+//   dsct_cli serve [--scenario FILE] [--policy NAME]
+//            [--fallback NAME,NAME,...]
 //            [--gpus T4,V100] [--rate R] [--horizon S] [--epoch S]
 //            [--budget J] [--seed N] [--backlog] [--load-factor F]
 //            [--faults] [--fault-seed N] [--mtbf S] [--mttr S]
@@ -23,8 +25,17 @@
 // (run `dsct_cli solvers` for the list); `--policy` and `--fallback` are
 // restricted to solvers with the integral capability.
 //
+// `serve --scenario FILE` loads a declarative scenario (DESIGN.md §16) and
+// materialises fleet and request trace from it; explicit flags override the
+// file's values (--seed, --horizon, --epoch, --budget, --policy, --fallback,
+// --backlog, --load-factor, and the availability knobs). `--gpus`/`--rate`
+// conflict with a scenario's own machine/task classes and are rejected.
+// `scenarios` lists every *.dsct file in DIR (default: the repo zoo).
+//
 // Exit code 0 on success (and, for `validate`, a feasible schedule);
 // 1 on usage errors, 2 on infeasibility.
+#include <algorithm>
+#include <filesystem>
 #include <iostream>
 #include <limits>
 #include <map>
@@ -88,7 +99,9 @@ int usage() {
       "  dsct_cli info INSTANCE [--tasks]\n"
       "  dsct_cli validate INSTANCE SCHEDULE\n"
       "  dsct_cli simulate INSTANCE SCHEDULE [--trace]\n"
-      "  dsct_cli serve [--policy NAME] [--fallback NAME,NAME,...]\n"
+      "  dsct_cli scenarios [DIR]\n"
+      "  dsct_cli serve [--scenario FILE] [--policy NAME]\n"
+      "           [--fallback NAME,NAME,...]\n"
       "           [--gpus T4,V100] [--rate R] [--horizon S] [--epoch S]\n"
       "           [--budget J] [--seed N] [--backlog] [--load-factor F]\n"
       "           [--faults] [--fault-seed N] [--mtbf S] [--mttr S]\n"
@@ -272,8 +285,148 @@ int cmdSimulate(const Args& args) {
   return exec.deadlineMisses == 0 ? 0 : 2;
 }
 
+/// List every *.dsct file in a directory: one table row per scenario, parse
+/// errors reported inline. Exit 2 if any file fails to parse.
+int cmdScenarios(const Args& args) {
+  const std::string dir = args.positional.empty()
+#ifdef DSCT_SCENARIO_DIR
+                              ? DSCT_SCENARIO_DIR
+#else
+                              ? "scenarios"
+#endif
+                              : args.positional[0];
+  std::error_code ec;
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".dsct") files.push_back(entry.path());
+  }
+  if (ec) {
+    std::cerr << "cannot list scenario directory '" << dir << "': "
+              << ec.message() << '\n';
+    return 1;
+  }
+  std::sort(files.begin(), files.end());
+  Table table({"file", "name", "seed", "machines", "task classes", "horizon",
+               "policy"});
+  int failures = 0;
+  for (const std::filesystem::path& path : files) {
+    try {
+      const Scenario sc = loadScenarioFile(path.string());
+      int machineCount = 0;
+      for (const MachineClass& mc : sc.machineClasses) {
+        machineCount +=
+            mc.count * static_cast<int>(std::max<std::size_t>(
+                           mc.gpus.size(), 1));
+      }
+      std::string classes;
+      for (const TaskClass& tc : sc.taskClasses) {
+        if (!classes.empty()) classes += ", ";
+        classes += tc.name;
+      }
+      table.addRow({path.filename().string(), sc.name,
+                    std::to_string(sc.seed), std::to_string(machineCount),
+                    classes, formatFixed(sc.serving.horizonSeconds, 1),
+                    sc.serving.policy});
+    } catch (const ScenarioError& e) {
+      ++failures;
+      std::cerr << "parse error: " << e.what() << '\n';
+    }
+  }
+  table.print(std::cout);
+  std::cout << files.size() << " scenario(s) in " << dir << '\n';
+  return failures == 0 ? 0 : 2;
+}
+
 int cmdServe(const Args& args) {
-  const std::string policy = args.get("policy", "approx");
+  std::vector<Machine> machines;
+  sim::ServingOptions options;
+  std::string policy;
+  std::string scenarioName;
+
+  if (args.has("scenario")) {
+    if (args.has("gpus") || args.has("rate")) {
+      std::cerr << "--gpus/--rate conflict with --scenario (the scenario's "
+                   "machine and task classes define fleet and load)\n";
+      return usage();
+    }
+    Scenario sc = loadScenarioFile(args.get("scenario", ""));
+    // Explicit flags override the file's values. Overrides are applied to
+    // the Scenario BEFORE materialisation so e.g. a clamped --horizon also
+    // shrinks the sampled arrival windows.
+    if (args.has("seed")) {
+      sc.seed = static_cast<std::uint64_t>(args.getInt("seed", 0));
+    }
+    if (args.has("horizon")) {
+      sc.serving.horizonSeconds = args.getDouble("horizon", 0.0);
+    }
+    if (args.has("epoch")) {
+      sc.serving.epochSeconds = args.getDouble("epoch", 0.0);
+    }
+    if (args.has("budget")) {
+      sc.serving.energyBudgetPerEpoch = args.getDouble("budget", 0.0);
+    }
+    if (args.has("backlog")) sc.serving.carryBacklog = true;
+    if (args.has("load-factor")) {
+      sc.serving.admissionLoadFactor = args.getDouble("load-factor", 0.0);
+    }
+    if (args.has("fallback")) {
+      sc.serving.fallback = splitList(args.get("fallback", ""));
+    }
+    if (args.has("avail")) sc.serving.availabilityEnabled = true;
+    if (args.has("avail-seed")) {
+      sc.serving.availSeed =
+          static_cast<std::uint64_t>(args.getInt("avail-seed", 0));
+    }
+    if (args.has("depart-mtbf")) {
+      sc.serving.departMtbfSeconds = args.getDouble("depart-mtbf", 0.0);
+      sc.serving.availabilityEnabled = true;
+    }
+    if (args.has("depart-mean")) {
+      sc.serving.departMeanSeconds = args.getDouble("depart-mean", 1.0);
+    }
+    if (args.has("battery")) {
+      sc.serving.batteryCapacityJoules = args.getDouble("battery", 0.0);
+      sc.serving.availabilityEnabled = true;
+    }
+    if (args.has("battery-init")) {
+      sc.serving.batteryInitialFraction = args.getDouble("battery-init", 1.0);
+    }
+    if (args.has("recharge")) {
+      sc.serving.rechargeWatts = args.getDouble("recharge", 0.0);
+    }
+    policy = args.get("policy", sc.serving.policy);
+    machines = materializeMachines(sc);
+    options = makeServingOptions(sc);
+    scenarioName = sc.name;
+  } else {
+    policy = args.get("policy", "approx");
+    machines = machinesFromCatalog(splitList(args.get("gpus", "T4,V100")));
+    if (args.has("fallback")) {
+      options.fallbackChain = splitList(args.get("fallback", ""));
+    }
+    options.arrivalRatePerSecond = args.getDouble("rate", 18.0);
+    options.horizonSeconds = args.getDouble("horizon", 5.0);
+    options.epochSeconds = args.getDouble("epoch", 0.5);
+    options.energyBudgetPerEpoch = args.getDouble("budget", 40.0);
+    options.seed = static_cast<std::uint64_t>(args.getInt("seed", 2024));
+    options.carryBacklog = args.has("backlog");
+    options.admissionLoadFactor = args.getDouble("load-factor", 0.0);
+    // Availability layer: departing/returning machines and battery-budgeted
+    // fleets (DESIGN.md §15).
+    options.availability.enabled = args.has("avail");
+    options.availability.seed =
+        static_cast<std::uint64_t>(args.getInt("avail-seed", 2025));
+    options.availability.departMtbfSeconds =
+        args.getDouble("depart-mtbf", 0.0);
+    options.availability.departMeanSeconds =
+        args.getDouble("depart-mean", 1.0);
+    options.availability.batteryCapacityJoules =
+        args.getDouble("battery", 0.0);
+    options.availability.batteryInitialFraction =
+        args.getDouble("battery-init", 1.0);
+    options.availability.rechargeWatts = args.getDouble("recharge", 0.0);
+  }
+
   const Solver* primary = SolverRegistry::instance().find(policy);
   if (primary == nullptr || !primary->capabilities().integral) {
     std::cerr << "unknown or non-integral serving policy '" << policy
@@ -281,20 +434,6 @@ int cmdServe(const Args& args) {
     return usage();
   }
 
-  const std::vector<Machine> machines =
-      machinesFromCatalog(splitList(args.get("gpus", "T4,V100")));
-
-  sim::ServingOptions options;
-  if (args.has("fallback")) {
-    options.fallbackChain = splitList(args.get("fallback", ""));
-  }
-  options.arrivalRatePerSecond = args.getDouble("rate", 18.0);
-  options.horizonSeconds = args.getDouble("horizon", 5.0);
-  options.epochSeconds = args.getDouble("epoch", 0.5);
-  options.energyBudgetPerEpoch = args.getDouble("budget", 40.0);
-  options.seed = static_cast<std::uint64_t>(args.getInt("seed", 2024));
-  options.carryBacklog = args.has("backlog");
-  options.admissionLoadFactor = args.getDouble("load-factor", 0.0);
   options.faults.enabled = args.has("faults");
   options.faults.seed =
       static_cast<std::uint64_t>(args.getInt("fault-seed", 2024));
@@ -310,20 +449,13 @@ int cmdServe(const Args& args) {
   // double-buffered pipeline; see ServingOptions for semantics.
   options.epochTimeLimitSeconds = args.getDouble("epoch-time-limit", 0.0);
   options.asyncServing = args.has("async");
-  // Availability layer: departing/returning machines and battery-budgeted
-  // fleets (DESIGN.md §15).
-  options.availability.enabled = args.has("avail");
-  options.availability.seed =
-      static_cast<std::uint64_t>(args.getInt("avail-seed", 2025));
-  options.availability.departMtbfSeconds = args.getDouble("depart-mtbf", 0.0);
-  options.availability.departMeanSeconds = args.getDouble("depart-mean", 1.0);
-  options.availability.batteryCapacityJoules = args.getDouble("battery", 0.0);
-  options.availability.batteryInitialFraction =
-      args.getDouble("battery-init", 1.0);
-  options.availability.rechargeWatts = args.getDouble("recharge", 0.0);
   options.availability.capGlobalBudget = !args.has("no-battery-cap");
 
   const sim::ServingStats s = sim::runServing(machines, policy, options);
+  if (!scenarioName.empty()) {
+    std::cout << "scenario       : " << scenarioName << " ("
+              << args.get("scenario", "") << ")\n";
+  }
   std::cout << "policy         : " << primary->displayName() << '\n'
             << "requests       : " << s.requests << " (" << s.served
             << " served over " << s.epochs << " epochs)\n"
@@ -331,6 +463,9 @@ int cmdServe(const Args& args) {
             << "mean latency   : " << s.meanLatency << " s\n"
             << "energy         : " << s.totalEnergy << " J\n"
             << "deadline misses: " << s.deadlineMisses << '\n';
+  if (!scenarioName.empty()) {
+    std::cout << "miss penalty   : " << s.missPenalty << '\n';
+  }
   if (options.faults.enabled || options.admissionLoadFactor > 0.0) {
     std::cout << "interruptions  : " << s.interruptions << " (" << s.retries
               << " retries, " << s.abandoned << " abandoned)\n"
@@ -391,6 +526,7 @@ int main(int argc, char** argv) {
     if (command == "solve") return cmdSolve(args);
     if (command == "validate") return cmdValidate(args);
     if (command == "simulate") return cmdSimulate(args);
+    if (command == "scenarios") return cmdScenarios(args);
     if (command == "serve") return cmdServe(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
