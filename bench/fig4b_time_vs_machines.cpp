@@ -31,11 +31,12 @@ int main() {
 
   Table table({"m", "approx (s)", "mip (s)", "mip timeouts",
                "approx avg acc", "mip avg acc", "refine (s)",
-               "slack queries", "slack hits"});
+               "slack queries", "slack hits", "lp pivots", "warm reuse"});
   CsvWriter csv("fig4b_time_vs_machines.csv",
                 {"m", "approx_seconds", "mip_seconds", "mip_timeouts",
                  "approx_accuracy", "mip_accuracy", "refine_seconds",
-                 "slack_queries", "slack_hits", "slack_rebuilds"});
+                 "slack_queries", "slack_hits", "slack_rebuilds",
+                 "lp_pivots", "lp_refactorizations", "lp_warm_reuse"});
   for (const Fig4Row& row : rows) {
     const double mipAcc =
         row.mipAccuracy.empty() ? -1.0 : row.mipAccuracy.mean();
@@ -43,13 +44,15 @@ int main() {
         static_cast<double>(row.size), row.approxSeconds.mean(),
         row.mipSeconds.mean(), static_cast<double>(row.mipTimeouts),
         row.approxAccuracy.mean(), mipAcc, row.refineSeconds.mean(),
-        row.slackQueries.mean(), row.slackHits.mean()});
+        row.slackQueries.mean(), row.slackHits.mean(), row.lpPivots.mean(),
+        row.lpWarmReuse.mean()});
     csv.addRow(std::vector<double>{
         static_cast<double>(row.size), row.approxSeconds.mean(),
         row.mipSeconds.mean(), static_cast<double>(row.mipTimeouts),
         row.approxAccuracy.mean(), mipAcc, row.refineSeconds.mean(),
         row.slackQueries.mean(), row.slackHits.mean(),
-        row.slackRebuilds.mean()});
+        row.slackRebuilds.mean(), row.lpPivots.mean(),
+        row.lpRefactorizations.mean(), row.lpWarmReuse.mean()});
   }
   table.print(std::cout);
   std::cout << "\npaper's message: the solver copes only with very few "

@@ -35,11 +35,12 @@ int main() {
   const auto rows = runTable1(config, runner);
 
   Table table({"n", "FR-Opt (s)", "LP simplex (s)", "LP timeouts",
-               "|obj diff|", "speedup", "evals", "cache hits", "dir LPs"});
+               "|obj diff|", "speedup", "evals", "cache hits", "dir LPs",
+               "lp pivots"});
   CsvWriter csv("table1_fr_times.csv",
                 {"n", "fr_opt_seconds", "lp_seconds", "lp_timeouts",
                  "objective_diff", "fr_evaluations", "fr_cache_hits",
-                 "fr_direction_lps"});
+                 "fr_direction_lps", "lp_pivots", "lp_refactorizations"});
   for (const Table1Row& row : rows) {
     const double diff =
         row.objectiveDiff.empty() ? -1.0 : row.objectiveDiff.max();
@@ -48,12 +49,13 @@ int main() {
         row.lpSeconds.mean(), static_cast<double>(row.lpTimeouts), diff,
         row.lpSeconds.mean() / row.frOptSeconds.mean(),
         row.frEvaluations.mean(), row.frCacheHits.mean(),
-        row.frDirectionLps.mean()});
+        row.frDirectionLps.mean(), row.lpPivots.mean()});
     csv.addRow(std::vector<double>{
         static_cast<double>(row.numTasks), row.frOptSeconds.mean(),
         row.lpSeconds.mean(), static_cast<double>(row.lpTimeouts), diff,
         row.frEvaluations.mean(), row.frCacheHits.mean(),
-        row.frDirectionLps.mean()});
+        row.frDirectionLps.mean(), row.lpPivots.mean(),
+        row.lpRefactorizations.mean()});
   }
   table.print(std::cout);
   std::cout << "\npaper's message: the dedicated algorithm is faster at every"

@@ -1,0 +1,23 @@
+# Rewrites the LABELS property in a gtest_discover_tests-generated ctest
+# file so multi-label test binaries work. CMake's gtest discovery flattens
+# list-valued PROPERTIES across its expansion layers (upstream issue
+# #20075; the escape parity is unwinnable from the caller), so a binary
+# registered with `LABELS unit solver` ends up with label `unit` plus a
+# stray `solver` property token. Run as a POST_BUILD step after the
+# discovery command (same-target POST_BUILD commands run in order), this
+# script replaces the flattened token run with one bracket-quoted list.
+#
+# Inputs (all via -D):
+#   FILE   — the generated <target>[1]_tests.cmake
+#   PLAIN  — the flattened token run to find, comma-separated ("unit,solver")
+#   JOINED — the label list to install, comma-separated (commas avoid
+#            list-splitting on the way in; converted to `;` here)
+if(NOT EXISTS "${FILE}")
+  return()
+endif()
+string(REPLACE "," " " _plain "${PLAIN}")
+string(REPLACE "," ";" _joined "${JOINED}")
+file(READ "${FILE}" _content)
+string(REPLACE "LABELS ${_plain})" "LABELS [==[${_joined}]==])"
+       _content "${_content}")
+file(WRITE "${FILE}" "${_content}")

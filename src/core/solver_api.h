@@ -21,6 +21,7 @@
 // (tests/core_solver_registry_test.cpp pins this).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -61,6 +62,12 @@ struct SolverCapabilities {
   /// bit-identical. False for wall-clock-limited searches (the MIP paths),
   /// whose incumbent depends on where the limit cuts the tree.
   bool deterministic = true;
+  /// Honours SolveContext::lpWarm: the solver re-enters its LP from the
+  /// basis saved by a structurally identical earlier solve (cross-epoch
+  /// serving) and stores its final basis back into the slot. Warm starts
+  /// change only the pivot path, never the reported optimum, so outcomes
+  /// stay bit-identical with the slot absent (tests/solver_warm_start_test).
+  bool usesLpWarmStart = false;
   /// Honours SolveContext::availability: the solver discounts machines by
   /// their per-machine energy caps (battery charge) instead of treating the
   /// global budget as the only energy constraint. Solvers without this flag
@@ -74,6 +81,18 @@ struct SolverCapabilities {
 /// machine r this epoch; empty means no per-machine limits.
 struct AvailabilityHints {
   std::vector<double> machineEnergyCaps;
+};
+
+/// Cross-solve LP warm-start slot: the final basis of the last optimal LP a
+/// solver ran, tagged with the structural fingerprint of the model it came
+/// from. Owned by the caller (the serving loop keeps one per run); a solver
+/// reuses the basis only when the fingerprint matches the model it just
+/// built, so bound/RHS drift reuses the basis and any structural change
+/// falls back to a cold start. Not synchronised — must not be shared by
+/// concurrent solves (the serving loop has at most one solve in flight).
+struct LpWarmStartSlot {
+  std::uint64_t structure = 0;
+  lp::LpBasis basis;
 };
 
 /// Shared per-call configuration, threaded through every dispatch layer
@@ -95,6 +114,11 @@ struct SolveContext {
   /// none. Only solvers whose capabilities declare `availabilityAware`
   /// read this. Must outlive the solve call (same rule as `cancel`).
   const AvailabilityHints* availability = nullptr;
+  /// Cross-solve LP warm-start slot; null disables warm starts. Only
+  /// solvers whose capabilities declare `usesLpWarmStart` read/write it.
+  /// Must outlive the solve call and must not be shared by concurrent
+  /// solves (same rules as `cancel`).
+  LpWarmStartSlot* lpWarm = nullptr;
 };
 
 /// Normalized result of any solver: schedule(s), objective, energy, wall
@@ -127,6 +151,10 @@ struct SolveOutcome {
   /// FR-OPT work counters incl. cross-solve cache and slack-engine traffic;
   /// all zero for solvers without that telemetry.
   FrOptCounters counters;
+
+  /// LP work/warm-start telemetry summed over every LP the solve ran
+  /// (node LPs for the MIP paths); all zero for solvers without an LP.
+  lp::LpCounters lpCounters;
 
   /// How the solve ended. kCancelled only when the solver actually
   /// returned early from a poll point — a solve that completes just before

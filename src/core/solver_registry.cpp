@@ -70,11 +70,21 @@ SolveOutcome solveMipOutcome(const Instance& inst, const SolveContext& context,
   }
   lp::MipOptions mipOptions = context.mip;
   if (mipOptions.cancel == nullptr) mipOptions.cancel = context.cancel;
-  const MipSolveSummary summary = solveDsctMip(
-      inst, mipOptions, warm ? &warm->schedule : nullptr);
+  // The LP warm-start slot rides with the warm-started MIP only; mip-cold is
+  // the deliberately cold reference point and ignores it.
+  LpWarmStartSlot* slot = warmStart ? context.lpWarm : nullptr;
+  const MipSolveSummary summary =
+      solveDsctMip(inst, mipOptions, warm ? &warm->schedule : nullptr,
+                   slot != nullptr ? &slot->basis : nullptr,
+                   slot != nullptr ? slot->structure : 0);
   SolveOutcome outcome;
   if (cancelled || summary.result.cancelled) {
     outcome.status = OutcomeStatus::kCancelled;
+  }
+  outcome.lpCounters = summary.result.lpCounters;
+  if (slot != nullptr && !summary.result.rootBasis.empty()) {
+    slot->structure = summary.lpStructure;
+    slot->basis = summary.result.rootBasis;
   }
   outcome.upperBound = summary.result.bestBound;
   if (summary.schedule.has_value()) {
@@ -238,6 +248,7 @@ SolverRegistry::SolverRegistry() {
   SolverCapabilities mipWarmCaps = mipCaps;
   mipWarmCaps.usesProfileCache = true;  // via the approx warm start
   mipWarmCaps.usesThreadPool = true;
+  mipWarmCaps.usesLpWarmStart = true;  // root relaxation basis carry
   add(makeSolver("mip-warm", "DSCT-EA-Opt (MIP, warm-started)", mipWarmCaps,
                  [](const Instance& inst, const SolveContext& context) {
                    return solveMipOutcome(inst, context, /*warmStart=*/true);
@@ -252,16 +263,36 @@ SolverRegistry::SolverRegistry() {
   frLpCaps.integral = false;
   frLpCaps.fractional = true;
   frLpCaps.exact = true;
+  frLpCaps.usesLpWarmStart = true;
   add(makeSolver(
           "fr-lp", "DSCT-EA-FR (LP via simplex)", frLpCaps,
           [](const Instance& inst, const SolveContext& context) {
             const DsctLp lpModel = buildFractionalLp(inst);
             lp::LpOptions lpOptions = context.lp;
             if (lpOptions.cancel == nullptr) lpOptions.cancel = context.cancel;
-            const lp::LpResult res = lp::solveLp(lpModel.model, lpOptions);
             SolveOutcome outcome;
+            LpWarmStartSlot* slot = context.lpWarm;
+            std::uint64_t structure = 0;
+            if (slot != nullptr) {
+              structure = lp::structuralFingerprint(lpModel.model);
+              if (!slot->basis.empty()) {
+                if (slot->structure == structure) {
+                  lpOptions.warmBasis = &slot->basis;
+                } else {
+                  // Structure drifted since the snapshot: solve cold.
+                  ++outcome.lpCounters.warmStartsAttempted;
+                  ++outcome.lpCounters.warmStartsRejected;
+                }
+              }
+            }
+            const lp::LpResult res = lp::solveLp(lpModel.model, lpOptions);
+            outcome.lpCounters.add(res.counters);
             if (res.cancelled) outcome.status = OutcomeStatus::kCancelled;
             if (res.status == lp::SolveStatus::kOptimal) {
+              if (slot != nullptr) {
+                slot->structure = structure;
+                slot->basis = res.basis;
+              }
               outcome.fractional = extractFractional(inst, lpModel, res.x);
               fillFromFractional(inst, outcome);
               outcome.upperBound = res.objective;

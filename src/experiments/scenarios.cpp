@@ -20,20 +20,26 @@ namespace dsct {
 
 namespace {
 
-/// Rough memory estimate (bytes) of the dense tableau the simplex would
-/// allocate for `model`; used to skip hopeless solver runs honestly (they
-/// are reported as time-limit hits, which is how they would end anyway).
-double tableauBytes(const lp::Model& model) {
-  // rows ≈ constraints + ranged variables; cols ≈ structural + slacks.
-  double rows = model.numConstraints();
-  for (const auto& v : model.variables()) {
-    if (std::isfinite(v.upper) && v.upper > v.lower) rows += 1.0;
+/// Rough memory estimate (bytes) of the working set the default (revised)
+/// simplex allocates for `model`: CSC column storage plus the per-row and
+/// per-column scratch vectors. Linear in nonzeros, not rows × cols — the
+/// old dense-tableau guard skipped exactly the large instances the sparse
+/// engine was built to reach, so the skip now only fires for models that
+/// genuinely cannot fit, and the time limit handles the rest honestly.
+double lpWorkingSetBytes(const lp::Model& model) {
+  double nnz = 0.0;
+  for (const auto& row : model.constraints()) {
+    nnz += static_cast<double>(row.coeffs.size());
   }
+  const double rows = model.numConstraints();
   const double cols = static_cast<double>(model.numVariables()) + rows;
-  return rows * (cols + 1.0) * sizeof(double);
+  // CSC (int index + double value) for structural nonzeros and one logical
+  // entry per row, ~6 column-length and ~6 row-length work vectors, and
+  // eta-file headroom between refactorisations (~64 sparse columns).
+  return (nnz + rows) * 12.0 + (cols + rows) * 6.0 * 8.0 + rows * 64.0 * 12.0;
 }
 
-constexpr double kMaxTableauBytes = 500e6;
+constexpr double kMaxLpBytes = 500e6;
 
 }  // namespace
 
@@ -123,8 +129,8 @@ Fig4Row runFig4Point(const Fig4Config& config, int n, int m, int pointIndex,
     row.slackRebuilds.add(static_cast<double>(counters.slackRebuilds));
 
     DsctMip mip = buildMip(inst);
-    if (tableauBytes(mip.model) > kMaxTableauBytes) {
-      // The dense tableau would not fit; the solver run is hopeless within
+    if (lpWorkingSetBytes(mip.model) > kMaxLpBytes) {
+      // The LP working set would not fit; the solver run is hopeless within
       // any reasonable limit — record it as a time-limit hit.
       row.mipSeconds.add(config.mipTimeLimit);
       ++row.mipTimeouts;
@@ -136,6 +142,11 @@ Fig4Row runFig4Point(const Fig4Config& config, int n, int m, int pointIndex,
     const lp::MipResult res = lp::solveMip(mip.model, options);
     row.mipSeconds.add(watch.elapsedSeconds());
     if (res.status != lp::SolveStatus::kOptimal) ++row.mipTimeouts;
+    row.lpPivots.add(static_cast<double>(res.lpCounters.pivots));
+    row.lpRefactorizations.add(
+        static_cast<double>(res.lpCounters.refactorizations));
+    row.lpWarmReuse.add(static_cast<double>(res.lpCounters.warmStartsUsed +
+                                            res.lpCounters.warmStartsRepaired));
     if (res.hasSolution) {
       row.mipAccuracy.add(res.objective / static_cast<double>(std::max(1, n)));
     }
@@ -211,7 +222,7 @@ std::vector<Table1Row> runTable1(const Table1Config& config,
           static_cast<double>(fr.counters.directionLpSolves));
 
       DsctLp lpModel = buildFractionalLp(inst);
-      if (tableauBytes(lpModel.model) > kMaxTableauBytes) {
+      if (lpWorkingSetBytes(lpModel.model) > kMaxLpBytes) {
         row.lpSeconds.add(config.lpTimeLimit);
         ++row.lpTimeouts;
         continue;
@@ -221,6 +232,9 @@ std::vector<Table1Row> runTable1(const Table1Config& config,
       Stopwatch watch;
       const lp::LpResult lpRes = lp::solveLp(lpModel.model, options);
       row.lpSeconds.add(watch.elapsedSeconds());
+      row.lpPivots.add(static_cast<double>(lpRes.counters.pivots));
+      row.lpRefactorizations.add(
+          static_cast<double>(lpRes.counters.refactorizations));
       if (lpRes.status == lp::SolveStatus::kOptimal) {
         row.objectiveDiff.add(std::fabs(lpRes.objective - fr.totalAccuracy));
       } else {

@@ -79,6 +79,12 @@ struct Fig4Row {
   RunningStats slackQueries;    ///< deadline-slack queries per solve
   RunningStats slackHits;       ///< queries served from the memo
   RunningStats slackRebuilds;   ///< per-machine column recomputations
+  // LP engine telemetry of the MIP's node LPs (lp::LpCounters summed over
+  // each solve): pivot volume, eta-file rebuilds, and intra-solve basis
+  // reuse (child nodes warm-started from their parent's basis).
+  RunningStats lpPivots;
+  RunningStats lpRefactorizations;
+  RunningStats lpWarmReuse;  ///< node bases accepted (used + repaired)
 };
 
 std::vector<Fig4Row> runFig4a(const Fig4Config& config,
@@ -112,6 +118,9 @@ struct Table1Row {
   RunningStats frEvaluations;  ///< fused profile evaluations
   RunningStats frCacheHits;    ///< memoised evaluations served
   RunningStats frDirectionLps; ///< direction-search LP solves
+  // LP engine telemetry (lp::LpCounters of the simplex runs above).
+  RunningStats lpPivots;           ///< simplex pivots per LP solve
+  RunningStats lpRefactorizations; ///< eta-file rebuilds per LP solve
 };
 
 std::vector<Table1Row> runTable1(const Table1Config& config,

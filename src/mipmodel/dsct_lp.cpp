@@ -1,5 +1,6 @@
 #include "mipmodel/dsct_lp.h"
 
+#include <algorithm>
 #include <string>
 
 #include "util/check.h"
@@ -16,10 +17,15 @@ DsctLp buildFractionalLp(const Instance& inst) {
   const int n = inst.numTasks();
   const int m = inst.numMachines();
 
-  // t_jr >= 0 (no objective coefficient).
+  // t_jr in [0, min(d_j, f_j^max / s_r)]. The cap is implied by the deadline
+  // prefix row (i = j term) and the FLOP row, so the optimum is unchanged —
+  // but stating it as a *bound* lets the bounded-variable simplex keep these
+  // columns out of the row space entirely.
   for (int j = 0; j < n; ++j) {
     for (int r = 0; r < m; ++r) {
-      model.addVariable(0.0, lp::kInfinity, 0.0, lp::VarType::kContinuous,
+      const double tCap = std::min(
+          inst.task(j).deadline, inst.task(j).fmax() / inst.machine(r).speed);
+      model.addVariable(0.0, tCap, 0.0, lp::VarType::kContinuous,
                         "t_" + std::to_string(j) + "_" + std::to_string(r));
     }
   }

@@ -17,9 +17,13 @@ DsctMip buildMip(const Instance& inst) {
   const int n = inst.numTasks();
   const int m = inst.numMachines();
 
+  // Same cap as the link row's big-M: implied by (1b)/(1c), so the optimum
+  // is unchanged, but as a *bound* it stays out of the simplex row space.
   for (int j = 0; j < n; ++j) {
     for (int r = 0; r < m; ++r) {
-      model.addVariable(0.0, lp::kInfinity, 0.0, lp::VarType::kContinuous,
+      const double tCap = std::min(inst.task(j).deadline,
+                                   inst.task(j).fmax() / inst.machine(r).speed);
+      model.addVariable(0.0, tCap, 0.0, lp::VarType::kContinuous,
                         "t_" + std::to_string(j) + "_" + std::to_string(r));
     }
   }
@@ -149,13 +153,29 @@ IntegralSchedule extractIntegral(const Instance& inst, const DsctMip& mip,
 
 MipSolveSummary solveDsctMip(const Instance& inst,
                              const lp::MipOptions& options,
-                             const IntegralSchedule* warmStart) {
+                             const IntegralSchedule* warmStart,
+                             const lp::LpBasis* rootBasis,
+                             std::uint64_t rootBasisStructure) {
   DsctMip mip = buildMip(inst);
   lp::MipOptions opts = options;
   if (warmStart != nullptr) {
     opts.initialSolution = mipStart(inst, mip, *warmStart);
   }
-  MipSolveSummary summary{lp::solveMip(mip.model, opts), std::nullopt, 0.0};
+  const std::uint64_t structure = lp::structuralFingerprint(mip.model);
+  bool staleBasis = false;
+  if (rootBasis != nullptr && !rootBasis->empty()) {
+    if (rootBasisStructure == structure) {
+      opts.lp.warmBasis = rootBasis;
+    } else {
+      staleBasis = true;  // drifted structure: solve cold, count the miss
+    }
+  }
+  MipSolveSummary summary{lp::solveMip(mip.model, opts), std::nullopt, 0.0,
+                          structure};
+  if (staleBasis) {
+    ++summary.result.lpCounters.warmStartsAttempted;
+    ++summary.result.lpCounters.warmStartsRejected;
+  }
   if (summary.result.hasSolution) {
     summary.schedule = extractIntegral(inst, mip, summary.result.x);
     summary.totalAccuracy = summary.schedule->totalAccuracy(inst);

@@ -4,6 +4,7 @@
 // Fig. 4): exact at small sizes, honest time-limited behaviour beyond.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -42,11 +43,22 @@ struct MipSolveSummary {
   lp::MipResult result;
   std::optional<IntegralSchedule> schedule;
   double totalAccuracy = 0.0;
+  /// structuralFingerprint of the built LP/MIP model; pair it with
+  /// result.rootBasis when carrying the basis to a later epoch's solve.
+  std::uint64_t lpStructure = 0;
 };
 
 /// Convenience wrapper: build, warm-start (optional), solve, extract.
+///
+/// `rootBasis` (with the fingerprint it was taken under) warm-starts the
+/// root relaxation when the newly built model has the same structural
+/// fingerprint — the cross-epoch serving path. A stale basis is counted as
+/// rejected in result.lpCounters and the solve proceeds cold; it can never
+/// change the reported optimum.
 MipSolveSummary solveDsctMip(const Instance& inst,
                              const lp::MipOptions& options,
-                             const IntegralSchedule* warmStart = nullptr);
+                             const IntegralSchedule* warmStart = nullptr,
+                             const lp::LpBasis* rootBasis = nullptr,
+                             std::uint64_t rootBasisStructure = 0);
 
 }  // namespace dsct

@@ -176,10 +176,12 @@ ServingStats runServingImpl(
   // runs bit-identical to the pre-registry driver for every policy.
   bool wantsCache = primary.capabilities().usesProfileCache;
   bool wantsPool = primary.capabilities().usesThreadPool;
+  bool wantsLpWarm = primary.capabilities().usesLpWarmStart;
   if (guarded) {
     for (const Solver* fb : chain) {
       wantsCache = wantsCache || fb->capabilities().usesProfileCache;
       wantsPool = wantsPool || fb->capabilities().usesThreadPool;
+      wantsLpWarm = wantsLpWarm || fb->capabilities().usesLpWarmStart;
     }
   }
 
@@ -198,10 +200,23 @@ ServingStats runServingImpl(
   if (options.parallelCachedEval && wantsPool) {
     solverPool = std::make_unique<ThreadPool>(options.solverThreads);
   }
+  // Cross-epoch LP warm-start slot, carried like the cache: one epoch's
+  // optimal basis seeds the next epoch's LP when the instance structure
+  // matches. The driver drains every background solve before starting the
+  // next, so the slot is never touched by two solves at once.
+  std::optional<LpWarmStartSlot> lpWarmSlot;
+  if (options.lpWarmStarts && wantsLpWarm) lpWarmSlot.emplace();
+  // LP telemetry summed over every solve of the run (primary, fallback, and
+  // async alike); folded into ServingStats at the end.
+  lp::LpCounters lpTotals;
+  const auto noteLp = [&lpTotals](const SolveOutcome& outcome) {
+    lpTotals.add(outcome.lpCounters);
+  };
   SolveContext solveCtx;
   solveCtx.frOpt.sharedCache = crossCache ? &*crossCache : nullptr;
   solveCtx.frOpt.pool = solverPool.get();
   solveCtx.frOpt.parallelCachedEval = options.parallelCachedEval;
+  solveCtx.lpWarm = lpWarmSlot ? &*lpWarmSlot : nullptr;
   // Per-epoch availability hints, refilled before each epoch's solves and
   // handed only to capability-gated solvers. Declared at driver scope so the
   // async pipeline's context can point at it across the submission.
@@ -216,6 +231,7 @@ ServingStats runServingImpl(
     SolveContext ctx = solveCtx;
     applyAvailability(ctx, solver);
     SolveOutcome outcome = solver.solve(inst, ctx);
+    noteLp(outcome);
     DSCT_CHECK_MSG(outcome.schedule.has_value(),
                    "solver '" << solver.name()
                               << "' returned no integral schedule");
@@ -581,6 +597,7 @@ ServingStats runServingImpl(
       if (!guarded) {
         if (asyncPrimary.submitted) {
           SolveOutcome outcome = asyncPrimary.fut.get();
+          noteLp(outcome);
           DSCT_CHECK_MSG(outcome.schedule.has_value(),
                          "solver '" << primary.name()
                                     << "' returned no integral schedule");
@@ -637,6 +654,7 @@ ServingStats runServingImpl(
           SolveOutcome outcome =
               isAsyncPrimary ? asyncPrimary.fut.get()
                              : solveWithCancel(solver, inst, activeToken);
+          noteLp(outcome);
           cancelledOutcome = outcome.cancelled();
           if (!cancelledOutcome) {
             // Inside the try: a missing schedule is a policy failure the
@@ -795,6 +813,11 @@ ServingStats runServingImpl(
   if (stats.served > 0) {
     stats.meanLatency = latencySum / static_cast<double>(stats.served);
   }
+  stats.lpPivots = lpTotals.pivots;
+  stats.lpRefactorizations = lpTotals.refactorizations;
+  stats.lpWarmStartsUsed = lpTotals.warmStartsUsed;
+  stats.lpWarmStartsRepaired = lpTotals.warmStartsRepaired;
+  stats.lpWarmStartsRejected = lpTotals.warmStartsRejected;
   if (crossCache) {
     const ProfileCacheCounters cc = crossCache->counters();
     stats.profileCacheHits = cc.hits;

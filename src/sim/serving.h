@@ -153,6 +153,14 @@ struct ServingOptions {
   bool parallelCachedEval = false;
   /// Worker threads for parallelCachedEval; 0 means hardware concurrency.
   std::size_t solverThreads = 0;
+  /// Carry an LP warm-start slot (core/solver_api.h LpWarmStartSlot) across
+  /// the run's epochs for solvers with the `usesLpWarmStart` capability
+  /// ("fr-lp", "mip-warm"): the final basis of one epoch's optimal LP seeds
+  /// the next epoch's solve when the instance's structural fingerprint
+  /// matches (bound/RHS drift only). Results are bit-identical with this on
+  /// or off (pinned by tests/solver_warm_start_test.cpp); only the pivot
+  /// work differs — see ServingStats' lp* counters.
+  bool lpWarmStarts = true;
 };
 
 /// One line of the per-epoch incident log.
@@ -240,6 +248,19 @@ struct ServingStats {
   long long profileCacheInvalidations = 0;
   long long profileCacheContended = 0;  ///< shard-mutex contention events
   long long profileCacheShards = 0;     ///< shard count of the run's cache
+
+  // LP work over the whole run, summed from SolveOutcome::lpCounters (all
+  // zero for policies without an LP). used/repaired count every warm basis
+  // the engine accepted — the cross-epoch slot AND the MIP's intra-solve
+  // node-basis inheritance, so they are nonzero for MIP policies even with
+  // lpWarmStarts off. Rejections can only come from the cross-epoch slot
+  // (stale fingerprint/shape), so lpWarmStartsRejected is zero whenever
+  // lpWarmStarts is off.
+  long long lpPivots = 0;
+  long long lpRefactorizations = 0;
+  long long lpWarmStartsUsed = 0;      ///< warm basis feasible: phase 1 skipped
+  long long lpWarmStartsRepaired = 0;  ///< warm basis installed, phase 1 ran
+  long long lpWarmStartsRejected = 0;  ///< stale fingerprint/shape: cold solve
 };
 
 ServingStats runServing(const std::vector<Machine>& machines, Policy policy,

@@ -18,6 +18,11 @@ struct Node {
   std::vector<double> upper;
   double parentBound;  ///< LP bound inherited from the parent (model direction)
   int depth;
+  /// Optimal basis of the parent's LP relaxation. A child differs from its
+  /// parent by one bound change, so this basis is one dual step from the
+  /// child's optimum — the revised engine re-enters phase 2 from it instead
+  /// of re-running phase 1 at every node.
+  LpBasis basis;
 };
 
 /// Index of the most fractional integer variable, or -1 if x is integral.
@@ -52,9 +57,13 @@ std::optional<std::vector<double>> dive(const Model& model,
                                         std::vector<double> lower,
                                         std::vector<double> upper,
                                         const MipOptions& options,
-                                        const TimeLimit& deadline) {
+                                        const TimeLimit& deadline,
+                                        LpCounters& counters) {
   LpOptions lpOptions = options.lp;
   if (lpOptions.cancel == nullptr) lpOptions.cancel = options.cancel;
+  // Each fixing tightens one bound, so the previous solve's basis is the
+  // natural warm start for the next.
+  LpBasis carried;
   for (int guard = 0; guard <= model.numIntegerVariables(); ++guard) {
     if (deadline.expired() || dsct::stopRequested(options.cancel)) {
       return std::nullopt;
@@ -69,8 +78,11 @@ std::optional<std::vector<double>> dive(const Model& model,
       if (remaining <= 0.0) return std::nullopt;
       lpOptions.timeLimitSeconds = remaining;
     }
+    lpOptions.warmBasis = carried.empty() ? options.lp.warmBasis : &carried;
     const LpResult lp = solveLpWithBounds(model, lower, upper, lpOptions);
+    counters.add(lp.counters);
     if (lp.status != SolveStatus::kOptimal) return std::nullopt;
+    carried = lp.basis;
     const int var = mostFractional(model, lp.x, options.integralityTol);
     if (var < 0) return lp.x;
     const double value =
@@ -131,8 +143,8 @@ MipResult solveMip(const Model& model, const MipOptions& options) {
 
   // Optional root dive to seed an incumbent.
   if (options.rootDive && !result.hasSolution) {
-    const auto dived =
-        dive(model, stack.back().lower, stack.back().upper, options, deadline);
+    const auto dived = dive(model, stack.back().lower, stack.back().upper,
+                            options, deadline, result.lpCounters);
     if (dived && model.isFeasible(*dived, 1e-6)) {
       result.hasSolution = true;
       result.objective = model.objectiveValue(*dived);
@@ -186,8 +198,17 @@ MipResult solveMip(const Model& model, const MipOptions& options) {
       }
       lpOptions.timeLimitSeconds = remaining;
     }
+    // Warm start from the parent's optimal basis; the root node falls back
+    // to any caller-supplied basis (cross-epoch carry through MipOptions).
+    lpOptions.warmBasis =
+        node.basis.empty() ? options.lp.warmBasis : &node.basis;
     const LpResult lp =
         solveLpWithBounds(model, node.lower, node.upper, lpOptions);
+    result.lpCounters.add(lp.counters);
+    if (lp.status == SolveStatus::kOptimal && node.depth == 0 &&
+        result.rootBasis.empty()) {
+      result.rootBasis = lp.basis;
+    }
     if (lp.status == SolveStatus::kInfeasible) continue;
     if (lp.status == SolveStatus::kUnbounded) {
       sawUnbounded = true;
@@ -224,11 +245,13 @@ MipResult solveMip(const Model& model, const MipOptions& options) {
         std::min(down.upper[static_cast<std::size_t>(branchVar)], floorV);
     down.parentBound = bound;
     down.depth = node.depth + 1;
+    down.basis = lp.basis;
     Node up = std::move(node);
     up.lower[static_cast<std::size_t>(branchVar)] =
         std::max(up.lower[static_cast<std::size_t>(branchVar)], floorV + 1.0);
     up.parentBound = bound;
     up.depth = down.depth;
+    up.basis = lp.basis;
     // Explore the branch nearest the LP value first (last pushed).
     if (v - floorV >= 0.5) {
       stack.push_back(std::move(down));

@@ -1,6 +1,7 @@
 #include "solver/model.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "util/check.h"
@@ -91,6 +92,37 @@ double Model::maxViolation(std::span<const double> x) const {
 
 bool Model::isFeasible(std::span<const double> x, double tol) const {
   return maxViolation(x) <= tol;
+}
+
+namespace {
+
+// FNV-1a, the same construction the ProfileCache fingerprints use.
+inline void hashMix(std::uint64_t& h, std::uint64_t v) {
+  h ^= v;
+  h *= 1099511628211ULL;
+}
+
+inline void hashDouble(std::uint64_t& h, double v) {
+  hashMix(h, std::bit_cast<std::uint64_t>(v == 0.0 ? 0.0 : v));
+}
+
+}  // namespace
+
+std::uint64_t structuralFingerprint(const Model& model) {
+  std::uint64_t h = 1469598103934665603ULL;
+  hashMix(h, static_cast<std::uint64_t>(model.numVariables()));
+  hashMix(h, static_cast<std::uint64_t>(model.numConstraints()));
+  hashMix(h, model.maximize() ? 1 : 2);
+  for (const Variable& v : model.variables()) hashDouble(h, v.objective);
+  for (const Constraint& row : model.constraints()) {
+    hashMix(h, static_cast<std::uint64_t>(row.sense) + 3);
+    hashMix(h, static_cast<std::uint64_t>(row.coeffs.size()));
+    for (const auto& [var, coeff] : row.coeffs) {
+      hashMix(h, static_cast<std::uint64_t>(var));
+      hashDouble(h, coeff);
+    }
+  }
+  return h;
 }
 
 }  // namespace dsct::lp

@@ -5,6 +5,7 @@
 // and branch-and-bound (mip.h) engines.
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <span>
 #include <string>
@@ -72,5 +73,14 @@ class Model {
   std::vector<Variable> variables_;
   std::vector<Constraint> constraints_;
 };
+
+/// Hash of the model's *structure*: dimensions, objective direction and
+/// coefficients, row senses, and the constraint matrix (sparsity pattern and
+/// coefficient values). Deliberately EXCLUDES right-hand sides and variable
+/// bounds, so two models that differ only by bound/RHS drift — consecutive
+/// serving epochs whose carried batch merely sees its deadlines shift —
+/// fingerprint identically. That is exactly the regime where a saved LpBasis
+/// remains a valid (and usually primal-feasible) warm start.
+std::uint64_t structuralFingerprint(const Model& model);
 
 }  // namespace dsct::lp

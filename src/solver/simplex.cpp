@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "solver/revised_simplex.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -180,9 +181,13 @@ LpResult solveLp(const Model& model, const LpOptions& options) {
   return solveLpWithBounds(model, lower, upper, options);
 }
 
-LpResult solveLpWithBounds(const Model& model, std::span<const double> lower,
-                           std::span<const double> upper,
-                           const LpOptions& options) {
+namespace {
+
+/// The original dense two-phase tableau engine (LpEngine::kDense), retained
+/// as the differential reference for the revised engine's test battery.
+LpResult solveLpDense(const Model& model, std::span<const double> lower,
+                      std::span<const double> upper,
+                      const LpOptions& options) {
   Stopwatch watch;
   const TimeLimit deadline(options.timeLimitSeconds);
   const int nvars = model.numVariables();
@@ -482,6 +487,21 @@ LpResult solveLpWithBounds(const Model& model, std::span<const double> lower,
   result.iterations = iterationsUsed;
   result.solveSeconds = watch.elapsedSeconds();
   return result;
+}
+
+}  // namespace
+
+LpResult solveLpWithBounds(const Model& model, std::span<const double> lower,
+                           std::span<const double> upper,
+                           const LpOptions& options) {
+  if (options.engine == LpEngine::kDense) {
+    LpResult result = solveLpDense(model, lower, upper, options);
+    // The tableau engine predates LpCounters; its tableau pivots are the
+    // only telemetry it has.
+    result.counters.pivots = result.iterations;
+    return result;
+  }
+  return detail::solveLpRevised(model, lower, upper, options);
 }
 
 }  // namespace dsct::lp

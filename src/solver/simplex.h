@@ -1,16 +1,27 @@
-// Dense two-phase primal simplex.
+// Linear-programming engines behind one entry point.
 //
-// Handles arbitrary variable bounds (finite/infinite/free/fixed) by
-// substitution into a non-negative "tilde" space, all row senses via
-// slack/surplus + artificial variables, and anti-cycling by switching from
-// Dantzig pricing to Bland's rule after a pivot-count threshold.
+// Two interchangeable engines sit behind solveLp / solveLpWithBounds:
 //
-// This is deliberately a tableau method: dense, simple, verifiable. It is the
-// stand-in for the paper's commercial LP/MIP solver; its role in the
-// reproduction is correctness at small-to-medium sizes plus honest time-limit
-// behaviour at large sizes (Fig. 4, Table 1).
+//  - kRevised (default): bounded-variable revised simplex with CSC sparse
+//    column storage, a product-form (eta-file) basis inverse with periodic
+//    refactorisation, Dantzig + partial pricing, and explicit lower/upper
+//    variable bounds — box constraints like the relaxation's 0 ≤ z ≤ 1 are
+//    handled as bounds, not rows. Supports warm starts from a saved LpBasis
+//    (cross-epoch serving, branch-and-bound node inheritance).
+//
+//  - kDense: the original dense two-phase tableau. Kept behind this flag as
+//    the differential reference for the LP test battery
+//    (tests/solver_lp_differential_test.cpp); it ignores warm bases.
+//
+// Both engines handle arbitrary bounds (finite/infinite/free/fixed), all row
+// senses, row equilibration for badly scaled models, and anti-cycling by
+// switching from Dantzig pricing to Bland's rule after a pivot-count
+// threshold. This layer is the stand-in for the paper's commercial LP/MIP
+// solver; its role in the reproduction is correctness at small-to-medium
+// sizes plus honest time-limit behaviour at large sizes (Fig. 4, Table 1).
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -29,13 +40,82 @@ enum class SolveStatus {
 
 const char* toString(SolveStatus status);
 
+enum class LpEngine {
+  kRevised,  ///< sparse bounded-variable revised simplex (default)
+  kDense,    ///< dense two-phase tableau (differential reference)
+};
+
+/// Per-column basis status in the revised engine's column space: the model's
+/// structural variables first, then one logical (slack/surplus) column per
+/// constraint row.
+enum class BasisStatus : std::uint8_t {
+  kAtLower = 0,  ///< nonbasic at its lower bound (also: fixed columns)
+  kAtUpper = 1,  ///< nonbasic at its upper bound
+  kBasic = 2,
+  kFree = 3,  ///< nonbasic free column, held at zero
+};
+
+/// Snapshot of a revised-simplex basis: one status per column over
+/// numVariables structural + numConstraints logical columns. Returned on
+/// every optimal revised solve and accepted back through
+/// LpOptions::warmBasis; restoring it re-enters phase 2 directly when the
+/// basis is still primal feasible for the (possibly drifted) RHS/bounds.
+struct LpBasis {
+  std::vector<BasisStatus> status;
+  int numRows = 0;  ///< constraint count the snapshot was taken against
+
+  bool empty() const { return status.empty(); }
+  /// Dimension check: does this snapshot fit a model with the given shape?
+  bool compatible(int numVariables, int numConstraints) const {
+    return numRows == numConstraints &&
+           static_cast<int>(status.size()) == numVariables + numConstraints;
+  }
+  friend bool operator==(const LpBasis&, const LpBasis&) = default;
+};
+
+/// Work and warm-start telemetry of one (or, summed, many) LP solves.
+struct LpCounters {
+  long pivots = 0;        ///< basis-changing pivots, both phases
+  long phase1Pivots = 0;  ///< subset of `pivots` spent restoring feasibility
+  long boundFlips = 0;    ///< nonbasic bound-to-bound moves (no basis change)
+  long refactorizations = 0;  ///< eta-file rebuilds (periodic + recovery)
+  long warmStartsAttempted = 0;  ///< solves entered with a warm basis
+  long warmStartsUsed = 0;       ///< warm basis primal feasible: phase 1 skipped
+  long warmStartsRepaired = 0;   ///< warm basis installed but phase 1 still ran
+  long warmStartsRejected = 0;   ///< warm basis unusable (shape/fingerprint)
+
+  void add(const LpCounters& other) {
+    pivots += other.pivots;
+    phase1Pivots += other.phase1Pivots;
+    boundFlips += other.boundFlips;
+    refactorizations += other.refactorizations;
+    warmStartsAttempted += other.warmStartsAttempted;
+    warmStartsUsed += other.warmStartsUsed;
+    warmStartsRepaired += other.warmStartsRepaired;
+    warmStartsRejected += other.warmStartsRejected;
+  }
+};
+
 struct LpOptions {
   double timeLimitSeconds = -1.0;  ///< <= 0 means unlimited
   long maxIterations = -1;         ///< <= 0 means automatic (scales with size)
   double tol = 1e-9;               ///< reduced-cost / ratio tolerance
   /// Cooperative stop token, polled alongside the time limit every 64
-  /// pivots. A stop reads as kTimeLimit with `cancelled` set on the result.
+  /// pivots (and between columns inside a refactorisation). A stop reads as
+  /// kTimeLimit with `cancelled` set on the result.
   const dsct::CancelToken* cancel = nullptr;
+  /// Which engine solves the LP. The dense tableau is retained for one
+  /// release as the differential reference.
+  LpEngine engine = LpEngine::kRevised;
+  /// Optional starting basis (revised engine only; the dense engine ignores
+  /// it). Must outlive the solve. A snapshot that does not fit the model's
+  /// shape is rejected (counted in LpCounters::warmStartsRejected) and the
+  /// solve falls back to the cold all-logical start — a warm basis can never
+  /// change the reported optimum, only the pivot path to it.
+  const LpBasis* warmBasis = nullptr;
+  /// Refactorise the eta file every this many pivots (revised engine);
+  /// <= 0 means the built-in default (64).
+  int refactorInterval = 0;
 };
 
 struct LpResult {
@@ -52,6 +132,12 @@ struct LpResult {
   std::vector<double> duals;
   long iterations = 0;
   double solveSeconds = 0.0;
+  /// Final basis snapshot; populated on kOptimal by the revised engine
+  /// (empty from the dense engine). Feed back via LpOptions::warmBasis.
+  LpBasis basis;
+  /// Pivot/refactorisation/warm-start telemetry (dense engine fills only
+  /// `pivots`).
+  LpCounters counters;
 };
 
 /// Solve the LP relaxation of `model` (integrality is ignored).

@@ -1,10 +1,16 @@
 // CancelToken: deadline semantics under real and injected clocks, explicit
-// cancellation, and the pre-expired (non-positive budget) edge.
+// cancellation, and the pre-expired (non-positive budget) edge — plus the
+// revised simplex's cooperative poll points (every 64 pivots, and between
+// columns inside a refactorisation), pinned with injected clocks so the
+// regression is deterministic.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <limits>
 
+#include "mipmodel/dsct_lp.h"
+#include "solver/simplex.h"
+#include "tests/test_support.h"
 #include "util/cancel.h"
 
 namespace dsct {
@@ -72,6 +78,94 @@ TEST(CancelToken, FreeHelperTreatsNullAsNeverStopping) {
   EXPECT_FALSE(stopRequested(&token));
   token.requestCancel();
   EXPECT_TRUE(stopRequested(&token));
+}
+
+// ---- Revised-simplex cancel points --------------------------------------
+//
+// The engine polls its token every 64 pivots and every 64 columns inside a
+// refactorisation. These tests drive a mid-size LP (hundreds of rows, so a
+// full solve takes far more than one poll interval of pivots) and pin that
+// an expiring token is observed promptly, in whichever phase it fires.
+
+/// The golden mid-size fractional LP: ~480 rows, enough pivots for every
+/// poll point to be reachable.
+lp::Model midSizeLpModel() {
+  return buildFractionalLp(testing::goldenMidSizeInstance()).model;
+}
+
+TEST(LpCancel, PreExpiredTokenStopsInsideFirstRefactorisation) {
+  // A token that is already expired must be seen before any pivoting — the
+  // very first eta-file build polls between columns.
+  const lp::Model model = midSizeLpModel();
+  double now = 50.0;
+  const CancelToken token(0.0, [&now]() { return now; });
+  lp::LpOptions options;
+  options.cancel = &token;
+  const lp::LpResult res = lp::solveLp(model, options);
+  EXPECT_EQ(res.status, lp::SolveStatus::kTimeLimit);
+  EXPECT_TRUE(res.cancelled);
+  EXPECT_EQ(res.counters.pivots, 0);
+}
+
+/// A covering LP whose cold (all-logical) start is badly infeasible: every
+/// Ge row's surplus starts above its upper bound, so phase 1 must pivot
+/// roughly one structural per row — hundreds of phase-1 pivots, far more
+/// than one 64-pivot poll interval. (The DSCT LPs cannot serve here: all
+/// their RHS are nonnegative, so their cold start is already feasible and
+/// phase 1 does no work.)
+lp::Model phase1HeavyModel(int n) {
+  lp::Model model;
+  for (int j = 0; j < n; ++j) model.addVariable(0.0, lp::kInfinity, 1.0);
+  for (int i = 0; i < n; ++i) {
+    model.addConstraint({{i, 1.0}, {(i + 1) % n, 1.0}}, lp::Sense::kGe, 1.0);
+  }
+  return model;
+}
+
+TEST(LpCancel, MidPhaseOneCancelObservedWithinPollInterval) {
+  // Calibrate with a counting clock on an unrestricted solve, then replay
+  // with the deadline set at half the polls: the stop lands mid-phase-1,
+  // deterministically (one tick per expired() poll, no wall clock).
+  const lp::Model model = phase1HeavyModel(400);
+  double fullPolls = 0.0;
+  CancelToken counting(1e18, [&fullPolls]() {
+    fullPolls += 1.0;
+    return fullPolls;
+  });
+  lp::LpOptions options;
+  options.cancel = &counting;
+  const lp::LpResult full = lp::solveLp(model, options);
+  ASSERT_EQ(full.status, lp::SolveStatus::kOptimal);
+  ASSERT_GT(full.counters.phase1Pivots, 2 * 64);  // >> one poll interval
+  ASSERT_GT(fullPolls, 4.0);
+
+  double now = 0.0;
+  const CancelToken token(fullPolls / 2.0, [&now]() {
+    now += 1.0;
+    return now;
+  });
+  options.cancel = &token;
+  const lp::LpResult res = lp::solveLp(model, options);
+  EXPECT_EQ(res.status, lp::SolveStatus::kTimeLimit);
+  EXPECT_TRUE(res.cancelled);
+  // Made progress past the initial refactorisation, stopped while phase 1
+  // (the bulk of this model's work) was still running.
+  EXPECT_GT(res.counters.pivots, 0);
+  EXPECT_LT(res.counters.pivots, full.counters.phase1Pivots);
+}
+
+TEST(LpCancel, ExplicitCancelStopsMidSolve) {
+  // requestCancel() from "another actor": flip the flag after a fixed
+  // number of clock polls, as the serving loop's watchdog would.
+  const lp::Model model = midSizeLpModel();
+  CancelToken token(1e9, []() { return 0.0; });  // deadline never fires
+  token.requestCancel();
+  lp::LpOptions options;
+  options.cancel = &token;
+  const lp::LpResult res = lp::solveLp(model, options);
+  EXPECT_EQ(res.status, lp::SolveStatus::kTimeLimit);
+  EXPECT_TRUE(res.cancelled);
+  EXPECT_EQ(res.counters.pivots, 0);
 }
 
 }  // namespace

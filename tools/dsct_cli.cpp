@@ -95,7 +95,7 @@ int usage() {
       "  dsct_cli generate --tasks N --machines M [--rho R] [--beta B]\n"
       "           [--theta-min T] [--theta-max T] [--seed S] --out FILE\n"
       "  dsct_cli solve INSTANCE [--algo NAME] [--time-limit SEC]\n"
-      "           [--out SCHEDULE] [--gantt]\n"
+      "           [--lp-engine revised|dense] [--out SCHEDULE] [--gantt]\n"
       "  dsct_cli info INSTANCE [--tasks]\n"
       "  dsct_cli validate INSTANCE SCHEDULE\n"
       "  dsct_cli simulate INSTANCE SCHEDULE [--trace]\n"
@@ -111,6 +111,7 @@ int usage() {
       "           [--avail] [--avail-seed N] [--depart-mtbf S]\n"
       "           [--depart-mean S] [--battery J] [--battery-init F]\n"
       "           [--recharge W] [--no-battery-cap] [--incidents-csv FILE]\n"
+      "           [--no-lp-warm]\n"
       "\n"
       "NAME is any solver name or alias from `dsct_cli solvers`.\n";
   return 1;
@@ -145,6 +146,7 @@ int cmdSolvers(const Args&) {
     if (caps.usesProfileCache) flags += "cache ";
     if (caps.usesThreadPool) flags += "pool ";
     if (caps.availabilityAware) flags += "avail ";
+    if (caps.usesLpWarmStart) flags += "lp-warm ";
     if (!caps.deterministic) flags += "nondeterministic ";
     if (!flags.empty()) flags.pop_back();
     table.addRow({solver->name(), aliases.empty() ? "-" : aliases,
@@ -198,7 +200,21 @@ int cmdSolve(const Args& args) {
   SolveContext context;
   context.mip.timeLimitSeconds = args.getDouble("time-limit", 60.0);
   context.lp.timeLimitSeconds = args.getDouble("time-limit", -1.0);
+  const std::string engine = args.get("lp-engine", "revised");
+  if (engine == "dense") {
+    context.lp.engine = lp::LpEngine::kDense;
+    context.mip.lp.engine = lp::LpEngine::kDense;
+  } else if (engine != "revised") {
+    std::cerr << "unknown --lp-engine '" << engine
+              << "' (expected revised|dense)\n";
+    return usage();
+  }
   const SolveOutcome outcome = solver->solve(inst, context);
+  if (outcome.lpCounters.pivots > 0) {
+    std::cout << "lp pivots      : " << outcome.lpCounters.pivots << " ("
+              << outcome.lpCounters.phase1Pivots << " phase-1, "
+              << outcome.lpCounters.refactorizations << " refactorisations)\n";
+  }
   if (!outcome.solved()) {
     std::cout << "status         : no solution within limits\n";
     return 2;
@@ -450,6 +466,7 @@ int cmdServe(const Args& args) {
   options.epochTimeLimitSeconds = args.getDouble("epoch-time-limit", 0.0);
   options.asyncServing = args.has("async");
   options.availability.capGlobalBudget = !args.has("no-battery-cap");
+  options.lpWarmStarts = !args.has("no-lp-warm");
 
   const sim::ServingStats s = sim::runServing(machines, policy, options);
   if (!scenarioName.empty()) {
@@ -486,6 +503,13 @@ int cmdServe(const Args& args) {
               << "battery        : " << s.batteryExhaustions
               << " exhaustions, " << s.batteryCappedEpochs
               << " budget-capped epochs\n";
+  }
+  if (s.lpPivots > 0) {
+    std::cout << "lp pivots      : " << s.lpPivots << " ("
+              << s.lpRefactorizations << " refactorisations)\n"
+              << "lp warm starts : " << s.lpWarmStartsUsed << " used, "
+              << s.lpWarmStartsRepaired << " repaired, "
+              << s.lpWarmStartsRejected << " rejected\n";
   }
   if (args.has("incidents-csv")) {
     const std::string path = args.get("incidents-csv", "");
