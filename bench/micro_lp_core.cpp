@@ -20,6 +20,7 @@
 #include "solver/model.h"
 #include "solver/simplex.h"
 #include "util/csv.h"
+#include "util/json.h"
 #include "util/table.h"
 #include "util/timer.h"
 #include "workload/generator.h"
@@ -79,6 +80,7 @@ int main() {
                  "sparse_seconds", "speedup", "warm_seconds",
                  "phase1_pivots_cold", "phase1_pivots_warm", "pivots_cold",
                  "pivots_warm", "warm_used"});
+  Json jsonRows = Json::array();
 
   for (const int n : taskCounts) {
     const Instance inst = benchInstance(n, m);
@@ -119,12 +121,42 @@ int main() {
         static_cast<double>(cold.result.counters.pivots),
         static_cast<double>(warm.result.counters.pivots),
         static_cast<double>(warm.result.counters.warmStartsUsed)});
+    jsonRows.push(Json::object()
+                      .set("tasks", n)
+                      .set("cols", lp.model.numVariables())
+                      .set("rows", lp.model.numConstraints())
+                      .set("dense_seconds", dense.seconds)
+                      .set("dense_finished", dense.finished)
+                      .set("sparse_seconds", sparse.seconds)
+                      .set("speedup", speedup)
+                      .set("warm_seconds", warm.seconds)
+                      .set("phase1_pivots_cold",
+                           static_cast<double>(cold.result.counters.phase1Pivots))
+                      .set("phase1_pivots_warm",
+                           static_cast<double>(warm.result.counters.phase1Pivots))
+                      .set("pivots_cold",
+                           static_cast<double>(cold.result.counters.pivots))
+                      .set("pivots_warm",
+                           static_cast<double>(warm.result.counters.pivots))
+                      .set("warm_used",
+                           static_cast<double>(
+                               warm.result.counters.warmStartsUsed)));
     if (!dense.finished) {
       std::cout << "  (n=" << n << ": dense hit the " << denseCap
                 << " s cap — its time and the speedup are lower bounds)\n";
     }
   }
   table.print(std::cout);
+  const Json report = Json::object()
+                          .set("bench", "micro_lp_core")
+                          .set("mode", bench::fullScale() ? "full" : "quick")
+                          .set("machines", m)
+                          .set("rows", std::move(jsonRows));
+  if (!Json::writeFile("BENCH_micro_lp_core.json", report)) {
+    std::cerr << "failed to write BENCH_micro_lp_core.json\n";
+    return 1;
+  }
+  std::cout << "\nwrote BENCH_micro_lp_core.json\n";
   std::cout << "\nmessage: CSC storage plus the eta-file basis inverse turns"
                " the per-pivot cost from O(rows*cols) dense arithmetic into"
                " work proportional to the column's nonzeros, and re-entering"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <vector>
 
@@ -10,14 +11,25 @@
 namespace dsct {
 
 std::vector<LevelMenu> buildLevelMenus(
-    const Instance& inst, const std::vector<double>& accuracyTargets) {
+    const Instance& inst, const std::vector<double>& accuracyTargets,
+    const std::vector<double>* machineEnergyCaps) {
   const int n = inst.numTasks();
   const int m = inst.numMachines();
   std::vector<LevelMenu> menus(static_cast<std::size_t>(n));
   // Tentative loads assume each task runs its largest feasible level; the
   // knapsack below only ever *shrinks* levels, so tasks start no later than
-  // assumed here and deadlines stay satisfied.
+  // assumed here and deadlines stay satisfied. The same argument covers the
+  // per-machine energy caps: `reserved` tracks the largest-level energy per
+  // machine, and shrinking only releases energy.
   std::vector<double> load(static_cast<std::size_t>(m), 0.0);
+  std::vector<double> reserved(static_cast<std::size_t>(m), 0.0);
+  const auto capOf = [&](int r) {
+    if (machineEnergyCaps == nullptr ||
+        static_cast<std::size_t>(r) >= machineEnergyCaps->size()) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return (*machineEnergyCaps)[static_cast<std::size_t>(r)];
+  };
 
   for (int j = 0; j < n; ++j) {
     const Task& task = inst.task(j);
@@ -25,12 +37,16 @@ std::vector<LevelMenu> buildLevelMenus(
     int bestMachine = -1;
     std::size_t bestCount = 0;
     for (int r = 0; r < m; ++r) {
-      // Count levels feasible on r given the current load.
+      // Count levels feasible on r given the current load. Levels are
+      // ascending in flops, so the feasible ones are a prefix.
       std::size_t feasible = 0;
       for (const CompressionLevel& level : levels) {
         const double time = level.flops / inst.machine(r).speed;
+        const double joules = level.flops / inst.machine(r).efficiency;
         if (load[static_cast<std::size_t>(r)] + time <=
-            task.deadline + 1e-12) {
+                task.deadline + 1e-12 &&
+            reserved[static_cast<std::size_t>(r)] + joules <=
+                capOf(r) + 1e-12) {
           ++feasible;
         }
       }
@@ -47,9 +63,11 @@ std::vector<LevelMenu> buildLevelMenus(
     menu.machine = bestMachine;
     menu.levels.assign(levels.begin(),
                        levels.begin() + static_cast<std::ptrdiff_t>(bestCount));
-    // Reserve the largest feasible level's time.
+    // Reserve the largest feasible level's time and energy.
     load[static_cast<std::size_t>(bestMachine)] +=
         menu.levels.back().flops / inst.machine(bestMachine).speed;
+    reserved[static_cast<std::size_t>(bestMachine)] +=
+        menu.levels.back().flops / inst.machine(bestMachine).efficiency;
   }
   return menus;
 }
@@ -58,8 +76,8 @@ BaselineResult solveEdfLevelsOpt(const Instance& inst,
                                  const EdfLevelsOptOptions& options) {
   DSCT_CHECK(options.budgetBuckets >= 1);
   const int n = inst.numTasks();
-  const std::vector<LevelMenu> menus =
-      buildLevelMenus(inst, options.accuracyTargets);
+  const std::vector<LevelMenu> menus = buildLevelMenus(
+      inst, options.accuracyTargets, options.machineEnergyCaps);
   bool cancelled = false;
 
   // --- multiple-choice knapsack over the energy budget ---

@@ -25,6 +25,14 @@ struct EdfLevelsOptOptions {
   /// Cooperative stop token, polled per task in both the routing pass and
   /// the knapsack DP; tasks the DP never reached stay dropped.
   const CancelToken* cancel = nullptr;
+  /// Optional per-machine energy caps (J, indexed like the instance's
+  /// machines): the availability layer's battery charges (DESIGN.md §15).
+  /// Enforced conservatively at routing time — a level counts as feasible on
+  /// machine r only if reserving its energy on top of the levels already
+  /// reserved there stays within cap_r. The knapsack only ever shrinks the
+  /// reserved levels, so the caps hold for the final schedule. Null is
+  /// bit-identical to a build without this field.
+  const std::vector<double>* machineEnergyCaps = nullptr;
 };
 
 /// The per-task level menu after routing: the machine the task would run
@@ -35,9 +43,12 @@ struct LevelMenu {
   std::vector<CompressionLevel> levels;
 };
 
-/// Routing step alone (exposed for testing).
+/// Routing step alone (exposed for testing). `machineEnergyCaps` filters
+/// levels whose reserved energy would overdraw a machine's battery (see
+/// EdfLevelsOptOptions::machineEnergyCaps); null means uncapped.
 std::vector<LevelMenu> buildLevelMenus(
-    const Instance& inst, const std::vector<double>& accuracyTargets);
+    const Instance& inst, const std::vector<double>& accuracyTargets,
+    const std::vector<double>* machineEnergyCaps = nullptr);
 
 BaselineResult solveEdfLevelsOpt(const Instance& inst,
                                  const EdfLevelsOptOptions& options = {});

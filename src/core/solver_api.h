@@ -74,6 +74,13 @@ struct SolverCapabilities {
   /// still run under availability — the serving loop cuts over-assigned
   /// machines at execution time — but cannot avoid the exhaustion spill.
   bool availabilityAware = false;
+  /// Honours SolveContext::energyPrice: under a price λ >= 0 the solver caps
+  /// its energy appetite at the λ-priced demand — the energy whose marginal
+  /// accuracy-per-Joule ψ exceeds λ (DESIGN.md §18). The shard coordinator
+  /// uses this to make per-cell solves consistent with the outer price loop;
+  /// a negative price (the default) leaves the solve bit-identical to one
+  /// without this field.
+  bool priceGuided = false;
 };
 
 /// Per-epoch availability hints for capability-gated solvers (DESIGN.md
@@ -119,6 +126,13 @@ struct SolveContext {
   /// Must outlive the solve call and must not be shared by concurrent
   /// solves (same rules as `cancel`).
   LpWarmStartSlot* lpWarm = nullptr;
+  /// Lagrangian energy price λ (accuracy per Joule) from the shard
+  /// coordinator's outer loop (DESIGN.md §18). Negative (the default) means
+  /// unpriced; only solvers whose capabilities declare `priceGuided` read
+  /// it. A priced solve caps its effective budget at
+  /// min(B, pricedEnergyDemand(inst, λ)) — energy whose marginal accuracy
+  /// rate falls below λ is left unspent for other cells.
+  double energyPrice = -1.0;
 };
 
 /// Normalized result of any solver: schedule(s), objective, energy, wall

@@ -9,6 +9,7 @@
 #include "mipmodel/dsct_lp.h"
 #include "mipmodel/dsct_mip.h"
 #include "sched/approx.h"
+#include "sched/energy_price.h"
 #include "sched/fr_opt.h"
 #include "util/check.h"
 
@@ -53,11 +54,31 @@ SolveOutcome fromBaseline(const Instance& inst, BaselineResult res) {
 }
 
 /// Copy the context's FR-OPT option slice with the context-level token
-/// injected (an explicitly supplied option token wins).
+/// injected (an explicitly supplied option token wins) and the availability
+/// layer's per-machine energy caps attached when present.
 FrOptOptions frOptWithCancel(const SolveContext& context) {
   FrOptOptions options = context.frOpt;
   if (options.cancel == nullptr) options.cancel = context.cancel;
+  if (options.machineEnergyCaps == nullptr &&
+      context.availability != nullptr &&
+      !context.availability->machineEnergyCaps.empty()) {
+    options.machineEnergyCaps = &context.availability->machineEnergyCaps;
+  }
   return options;
+}
+
+/// SolveContext::energyPrice for price-guided solvers: under a price λ >= 0
+/// the instance's budget is capped at the λ-priced energy demand (the shard
+/// coordinator's outer loop, DESIGN.md §18). Returns nullopt — solve the
+/// instance unchanged — when no price is set or the demand already exceeds
+/// the budget; the λ < 0 default is therefore bit-identical to a build
+/// without pricing.
+std::optional<Instance> pricedInstance(const Instance& inst,
+                                       const SolveContext& context) {
+  if (context.energyPrice < 0.0) return std::nullopt;
+  const double cap = pricedEnergyDemand(inst, context.energyPrice);
+  if (cap >= inst.energyBudget()) return std::nullopt;
+  return Instance(inst.tasks(), inst.machines(), cap);
 }
 
 SolveOutcome solveMipOutcome(const Instance& inst, const SolveContext& context,
@@ -171,10 +192,15 @@ SolverRegistry::SolverRegistry() {
   approxCaps.fractional = true;
   approxCaps.usesProfileCache = true;
   approxCaps.usesThreadPool = true;
+  approxCaps.availabilityAware = true;  // honours per-machine energy caps
+  approxCaps.priceGuided = true;
   add(makeSolver(
           "approx", "DSCT-EA-Approx", approxCaps,
           [](const Instance& inst, const SolveContext& context) {
-            ApproxResult res = solveApprox(inst, frOptWithCancel(context));
+            const std::optional<Instance> priced =
+                pricedInstance(inst, context);
+            ApproxResult res = solveApprox(priced.has_value() ? *priced : inst,
+                                           frOptWithCancel(context));
             SolveOutcome outcome;
             if (res.fractional.cancelled) {
               outcome.status = OutcomeStatus::kCancelled;
@@ -194,10 +220,15 @@ SolverRegistry::SolverRegistry() {
   frOptCaps.fractional = true;
   frOptCaps.usesProfileCache = true;
   frOptCaps.usesThreadPool = true;
+  frOptCaps.availabilityAware = true;  // honours per-machine energy caps
+  frOptCaps.priceGuided = true;
   add(makeSolver(
           "fr-opt", "DSCT-EA-FR-OPT", frOptCaps,
           [](const Instance& inst, const SolveContext& context) {
-            FrOptResult res = solveFrOpt(inst, frOptWithCancel(context));
+            const std::optional<Instance> priced =
+                pricedInstance(inst, context);
+            FrOptResult res = solveFrOpt(priced.has_value() ? *priced : inst,
+                                         frOptWithCancel(context));
             SolveOutcome outcome;
             if (res.cancelled) outcome.status = OutcomeStatus::kCancelled;
             outcome.counters = res.counters;
@@ -233,10 +264,17 @@ SolverRegistry::SolverRegistry() {
                  }),
       {"edf-levels"});
 
-  add(makeSolver("levels-opt", "EDF-LevelsOpt", SolverCapabilities{},
+  SolverCapabilities levelsOptCaps;
+  levelsOptCaps.availabilityAware = true;  // honours per-machine energy caps
+  add(makeSolver("levels-opt", "EDF-LevelsOpt", levelsOptCaps,
                  [](const Instance& inst, const SolveContext& context) {
                    EdfLevelsOptOptions options;
                    options.cancel = context.cancel;
+                   if (context.availability != nullptr &&
+                       !context.availability->machineEnergyCaps.empty()) {
+                     options.machineEnergyCaps =
+                         &context.availability->machineEnergyCaps;
+                   }
                    return fromBaseline(inst, solveEdfLevelsOpt(inst, options));
                  }),
       {"edf3-opt"});

@@ -19,7 +19,8 @@ namespace {
 /// converge to a_max in the generous regime exactly as the paper's Fig. 5
 /// reports.
 void topUp(const Instance& inst, std::vector<int>& machineOf,
-           std::vector<double>& duration) {
+           std::vector<double>& duration,
+           const std::vector<double>* machineEnergyCaps) {
   const int n = inst.numTasks();
   const int m = inst.numMachines();
 
@@ -59,11 +60,30 @@ void topUp(const Instance& inst, std::vector<int>& machineOf,
   }
 
   double budget = inst.energyBudget();
+  std::vector<double> machineEnergy(static_cast<std::size_t>(m), 0.0);
   for (int j = 0; j < n; ++j) {
     const int r = machineOf[static_cast<std::size_t>(j)];
-    if (r >= 0) budget -= duration[static_cast<std::size_t>(j)] *
-                          inst.machine(r).power();
+    if (r >= 0) {
+      const double e =
+          duration[static_cast<std::size_t>(j)] * inst.machine(r).power();
+      budget -= e;
+      machineEnergy[static_cast<std::size_t>(r)] += e;
+    }
   }
+  // Remaining battery charge of machine r in seconds of load, or +inf when
+  // uncapped. Growth on a drained machine is blocked like exhausted slack.
+  const auto capSeconds = [&](int r) {
+    if (machineEnergyCaps == nullptr ||
+        static_cast<std::size_t>(r) >= machineEnergyCaps->size()) {
+      return std::numeric_limits<double>::infinity();
+    }
+    const double power = inst.machine(r).power();
+    if (power <= 0.0) return std::numeric_limits<double>::infinity();
+    return std::max(0.0,
+                    (*machineEnergyCaps)[static_cast<std::size_t>(r)] -
+                        machineEnergy[static_cast<std::size_t>(r)]) /
+           power;
+  };
 
   // Greedy extension: repeatedly grow the (task, machine) slot with the
   // highest marginal accuracy-per-Joule. A slot whose deadline slack is
@@ -102,20 +122,22 @@ void topUp(const Instance& inst, std::vector<int>& machineOf,
         std::min(task.fmax(), task.accuracy.breakpoint(seg + 1));
     const double delta =
         std::min({(fTarget - f) / machine.speed, slackAt(bestTask, r),
-                  budget / machine.power()});
+                  budget / machine.power(), capSeconds(r)});
     if (delta <= 1e-15) {
       blocked[static_cast<std::size_t>(bestTask)] = 1;
       continue;
     }
     duration[static_cast<std::size_t>(bestTask)] += delta;
     budget -= delta * machine.power();
+    machineEnergy[static_cast<std::size_t>(r)] += delta * machine.power();
   }
 }
 
 }  // namespace
 
-IntegralSchedule roundFractional(const Instance& inst,
-                                 const FractionalSchedule& fractional) {
+IntegralSchedule roundFractional(
+    const Instance& inst, const FractionalSchedule& fractional,
+    const std::vector<double>* machineEnergyCaps) {
   const int n = inst.numTasks();
   const int m = inst.numMachines();
   constexpr double kTol = 1e-12;
@@ -179,7 +201,7 @@ IntegralSchedule roundFractional(const Instance& inst,
   }
 
   // --- budget top-up (implementation refinement; see topUp above) ---
-  topUp(inst, machineOf, duration);
+  topUp(inst, machineOf, duration, machineEnergyCaps);
 
   return IntegralSchedule::build(inst, std::move(machineOf),
                                  std::move(duration));
@@ -194,7 +216,8 @@ ApproxResult solveApprox(const Instance& inst,
 
 ApproxResult solveApprox(const Instance& inst, const FrOptOptions& options) {
   FrOptResult fr = solveFrOpt(inst, options);
-  IntegralSchedule rounded = roundFractional(inst, fr.schedule);
+  IntegralSchedule rounded =
+      roundFractional(inst, fr.schedule, options.machineEnergyCaps);
   ApproxResult result{std::move(rounded), std::move(fr),
                       approximationGuarantee(inst), 0.0, 0.0, 0.0};
   result.totalAccuracy = result.schedule.totalAccuracy(inst);

@@ -33,8 +33,13 @@ ApproxResult solveApprox(const Instance& inst,
 ApproxResult solveApprox(const Instance& inst, const FrOptOptions& options);
 
 /// Rounding step alone (exposed for tests): integralises a fractional
-/// solution using per-machine load quotas `wmax`.
-IntegralSchedule roundFractional(const Instance& inst,
-                                 const FractionalSchedule& fractional);
+/// solution using per-machine load quotas `wmax`. Placement never exceeds
+/// the fractional per-machine loads, so if the fractional solution respects
+/// per-machine energy caps the rounded one does too; `machineEnergyCaps`
+/// (J, nullable — see FrOptOptions) only constrains the budget top-up pass,
+/// which is the one step that can grow a machine past its fractional load.
+IntegralSchedule roundFractional(
+    const Instance& inst, const FractionalSchedule& fractional,
+    const std::vector<double>* machineEnergyCaps = nullptr);
 
 }  // namespace dsct

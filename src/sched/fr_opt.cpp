@@ -17,19 +17,42 @@ namespace {
 
 constexpr double kImprovementTol = 1e-10;
 
-/// Grant unused budget to machines below the horizon, most efficient first.
-/// With strict deadlines the funded machines cannot always absorb their
-/// naive profiles (their loads stall below p_r); the leftover energy then
-/// buys *parallel* capacity on so-far unfunded machines.
-EnergyProfile expandProfile(const Instance& inst, const EnergyProfile& loads,
-                            double leftover) {
-  EnergyProfile profile = loads;
+/// Per-machine load ceiling (seconds): the horizon, tightened to
+/// cap_r / P_r where per-machine energy caps apply (DESIGN.md §15). Every
+/// profile move below projects onto these ceilings, so a capped solve never
+/// proposes a load the machine's battery cannot deliver.
+EnergyProfile loadCeilings(const Instance& inst,
+                           const std::vector<double>* machineEnergyCaps) {
   const double horizon = inst.maxDeadline();
+  EnergyProfile ceilings(static_cast<std::size_t>(inst.numMachines()),
+                         horizon);
+  if (machineEnergyCaps != nullptr) {
+    for (int r = 0; r < inst.numMachines(); ++r) {
+      const std::size_t i = static_cast<std::size_t>(r);
+      if (i >= machineEnergyCaps->size()) break;
+      const double power = inst.machine(r).power();
+      if (power <= 0.0) continue;
+      ceilings[i] =
+          std::min(ceilings[i], std::max(0.0, (*machineEnergyCaps)[i]) / power);
+    }
+  }
+  return ceilings;
+}
+
+/// Grant unused budget to machines below their ceiling, most efficient
+/// first. With strict deadlines the funded machines cannot always absorb
+/// their naive profiles (their loads stall below p_r); the leftover energy
+/// then buys *parallel* capacity on so-far unfunded machines.
+EnergyProfile expandProfile(const Instance& inst, const EnergyProfile& loads,
+                            double leftover, const EnergyProfile& ceilings) {
+  EnergyProfile profile = loads;
   for (int r : inst.machinesByEfficiencyDesc()) {
     if (leftover <= 0.0) break;
     const double power = inst.machine(r).power();
-    const double grow = std::min(
-        horizon - profile[static_cast<std::size_t>(r)], leftover / power);
+    const double grow =
+        std::min(ceilings[static_cast<std::size_t>(r)] -
+                     profile[static_cast<std::size_t>(r)],
+                 leftover / power);
     if (grow <= 0.0) continue;
     profile[static_cast<std::size_t>(r)] += grow;
     leftover -= grow * power;
@@ -44,14 +67,15 @@ EnergyProfile expandProfile(const Instance& inst, const EnergyProfile& loads,
 /// window — so each candidate is evaluated by re-solving.
 std::vector<EnergyProfile> expansionCandidates(const Instance& inst,
                                                const EnergyProfile& loads,
-                                               double leftover) {
+                                               double leftover,
+                                               const EnergyProfile& ceilings) {
   std::vector<EnergyProfile> candidates;
-  candidates.push_back(expandProfile(inst, loads, leftover));
-  const double horizon = inst.maxDeadline();
+  candidates.push_back(expandProfile(inst, loads, leftover, ceilings));
   for (int r = 0; r < inst.numMachines(); ++r) {
     const double power = inst.machine(r).power();
-    const double grow = std::min(
-        horizon - loads[static_cast<std::size_t>(r)], leftover / power);
+    const double grow = std::min(ceilings[static_cast<std::size_t>(r)] -
+                                     loads[static_cast<std::size_t>(r)],
+                                 leftover / power);
     if (grow <= 0.0) continue;
     EnergyProfile profile = loads;
     profile[static_cast<std::size_t>(r)] += grow;
@@ -66,9 +90,14 @@ std::optional<PairMove> bestPairMove(const Instance& inst,
                                      const ProfileEvaluator& evaluator,
                                      const EnergyProfile& loads,
                                      double baseAccuracy, ThreadPool* pool,
-                                     const PairProbeHook* probeHook) {
+                                     const PairProbeHook* probeHook,
+                                     const EnergyProfile* maxLoads) {
   const double horizon = inst.maxDeadline();
   const int m = inst.numMachines();
+  const auto ceilingOf = [&](int r) {
+    return maxLoads != nullptr ? (*maxLoads)[static_cast<std::size_t>(r)]
+                               : horizon;
+  };
 
   struct Direction {
     int from;
@@ -82,15 +111,16 @@ std::optional<PairMove> bestPairMove(const Instance& inst,
     if (available <= 1e-12) continue;
     for (int to = 0; to < m; ++to) {
       if (to == from) continue;
-      // The recipient can absorb at most its headroom to the horizon. A
-      // larger transfer would have to clamp the recipient while still
-      // deducting the full delta from the donor — destroying energy — so
-      // the probe values past this cap are meaningless and the old
-      // uncapped screen (probes at available/2, available/64, available)
-      // could dismiss a direction whose entire improvement region lies
-      // within the much smaller cap.
-      const double headroom = (horizon - loads[static_cast<std::size_t>(to)]) *
-                              inst.machine(to).power();
+      // The recipient can absorb at most its headroom to the horizon (or
+      // its energy-cap ceiling when one applies). A larger transfer would
+      // have to clamp the recipient while still deducting the full delta
+      // from the donor — destroying energy — so the probe values past this
+      // cap are meaningless and the old uncapped screen (probes at
+      // available/2, available/64, available) could dismiss a direction
+      // whose entire improvement region lies within the much smaller cap.
+      const double headroom =
+          (ceilingOf(to) - loads[static_cast<std::size_t>(to)]) *
+          inst.machine(to).power();
       const double cap = std::min(available, headroom);
       if (cap <= 1e-12) continue;
       directions.push_back({from, to, cap});
@@ -192,6 +222,26 @@ FrOptResult solveFrOpt(const Instance& inst, const FrOptOptions& options) {
   FrOptResult result{std::move(naive.schedule), std::move(naive.profile),
                      {}, {}, {}, 0.0, 0.0, false};
 
+  // Per-machine load ceilings: the horizon, tightened by the energy caps.
+  // With caps active the naive start is projected onto the capped box and
+  // re-materialised, so every later move starts from a cap-feasible profile.
+  const bool capped = options.machineEnergyCaps != nullptr;
+  const EnergyProfile ceilings = loadCeilings(inst, options.machineEnergyCaps);
+  if (capped) {
+    EnergyProfile clamped = result.naiveProfile;
+    bool changed = false;
+    for (std::size_t r = 0; r < clamped.size(); ++r) {
+      if (clamped[r] > ceilings[r]) {
+        clamped[r] = ceilings[r];
+        changed = true;
+      }
+    }
+    if (changed) {
+      result.schedule = evaluator.schedule(clamped);
+      result.naiveProfile = std::move(clamped);
+    }
+  }
+
   // Cooperative stop: polled at the outer rounds and inside the escape
   // searches. Marks the result cancelled exactly when a poll fires, so a
   // solve that runs to completion never reports cancellation.
@@ -203,9 +253,12 @@ FrOptResult solveFrOpt(const Instance& inst, const FrOptOptions& options) {
     return false;
   };
 
-  // Forward the token into RefineProfile's round loop.
+  // Forward the token (and the energy caps) into RefineProfile's round loop.
   RefineOptions refineOptions = options.refine;
   if (refineOptions.cancel == nullptr) refineOptions.cancel = options.cancel;
+  if (refineOptions.machineEnergyCaps == nullptr) {
+    refineOptions.machineEnergyCaps = options.machineEnergyCaps;
+  }
 
   // Alternate three fixed-point steps until none improves:
   //  * expandProfile — spend leftover budget on additional parallel
@@ -248,7 +301,8 @@ FrOptResult solveFrOpt(const Instance& inst, const FrOptOptions& options) {
       if (stopNow()) break;
       const EnergyProfile loads = result.schedule.machineLoads();
       const std::optional<PairMove> move =
-          bestPairMove(inst, evaluator, loads, currentAccuracy, pool);
+          bestPairMove(inst, evaluator, loads, currentAccuracy, pool, nullptr,
+                       capped ? &ceilings : nullptr);
       if (!move.has_value() || !maybeAdoptProfile(move->profile)) break;
       ++result.counters.pairMoves;
       improved = true;
@@ -278,7 +332,8 @@ FrOptResult solveFrOpt(const Instance& inst, const FrOptOptions& options) {
       std::vector<EnergyProfile> probes;
       std::vector<int> probeMachine;  ///< r for probe i; up if >= 0 else ~r
       for (int r = 0; r < m; ++r) {
-        if (p[static_cast<std::size_t>(r)] + eps <= horizon) {
+        if (p[static_cast<std::size_t>(r)] + eps <=
+            ceilings[static_cast<std::size_t>(r)]) {
           EnergyProfile q = p;
           q[static_cast<std::size_t>(r)] += eps;
           probes.push_back(std::move(q));
@@ -306,14 +361,17 @@ FrOptResult solveFrOpt(const Instance& inst, const FrOptOptions& options) {
       }
       // Direction LP: max Σ gainUp_r u_r − Σ lossDown_r v_r
       //   s.t. Σ P_r (u_r − v_r) <= budget slack,
-      //        0 <= u_r <= d_max − p_r, 0 <= v_r <= p_r.
+      //        0 <= u_r <= ceiling_r − p_r, 0 <= v_r <= p_r
+      // (ceiling_r = d_max, tightened by the per-machine energy cap).
       lp::Model dir;
       dir.setMaximize(true);
       std::vector<std::pair<int, double>> budgetRow;
       for (int r = 0; r < m; ++r) {
         const double power = inst.machine(r).power();
         const int u = dir.addVariable(
-            0.0, std::max(0.0, horizon - p[static_cast<std::size_t>(r)]),
+            0.0,
+            std::max(0.0, ceilings[static_cast<std::size_t>(r)] -
+                              p[static_cast<std::size_t>(r)]),
             gainUp[static_cast<std::size_t>(r)]);
         const int v = dir.addVariable(0.0, p[static_cast<std::size_t>(r)],
                                       -lossDown[static_cast<std::size_t>(r)]);
@@ -345,7 +403,7 @@ FrOptResult solveFrOpt(const Instance& inst, const FrOptOptions& options) {
           q[static_cast<std::size_t>(r)] = std::clamp(
               q[static_cast<std::size_t>(r)] +
                   t * direction[static_cast<std::size_t>(r)],
-              0.0, horizon);
+              0.0, ceilings[static_cast<std::size_t>(r)]);
         }
         return q;
       };
@@ -384,7 +442,7 @@ FrOptResult solveFrOpt(const Instance& inst, const FrOptOptions& options) {
       if (leftover > 1e-12 * std::max(1.0, inst.energyBudget())) {
         const EnergyProfile loads = result.schedule.machineLoads();
         const std::vector<EnergyProfile> candidates =
-            expansionCandidates(inst, loads, leftover);
+            expansionCandidates(inst, loads, leftover, ceilings);
         const std::vector<double> values =
             evaluator.evaluateBatch(candidates, pool,
                                     options.parallelCachedEval);

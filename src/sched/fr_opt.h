@@ -77,6 +77,14 @@ struct FrOptOptions {
   /// RefineProfile's round loop). On early exit the incumbent schedule is
   /// returned with `cancelled` set — it is feasible but may be suboptimal.
   const CancelToken* cancel = nullptr;
+  /// Optional per-machine energy caps (J, indexed like the instance's
+  /// machines): the availability layer's battery charges (DESIGN.md §15).
+  /// A cap is one more projection in the profile search — machine r's load
+  /// never exceeds cap_r / P_r seconds, in the naive start, the expansion
+  /// candidates, the pairwise transfers, the direction search, and
+  /// RefineProfile's grow side. Null means uncapped and is bit-identical to
+  /// a build without this field.
+  const std::vector<double>* machineEnergyCaps = nullptr;
 };
 
 struct FrOptResult {
@@ -116,11 +124,15 @@ using PairProbeHook =
     std::function<void(int from, int to, double delta,
                        const EnergyProfile& probe)>;
 
+/// `maxLoads` optionally caps each recipient's load (seconds): the per-
+/// machine energy caps translated to time, min'd with the horizon. Null
+/// means horizon-only, the historical behaviour.
 std::optional<PairMove> bestPairMove(const Instance& inst,
                                      const ProfileEvaluator& evaluator,
                                      const EnergyProfile& loads,
                                      double baseAccuracy,
                                      ThreadPool* pool = nullptr,
-                                     const PairProbeHook* probeHook = nullptr);
+                                     const PairProbeHook* probeHook = nullptr,
+                                     const EnergyProfile* maxLoads = nullptr);
 
 }  // namespace dsct

@@ -61,6 +61,17 @@ RefineStats refineProfile(const Instance& inst, FractionalSchedule& schedule,
   // when options.incrementalSlack is off — bit-identical either way).
   SlackEngine slackEngine(inst, schedule, options.incrementalSlack);
 
+  // Per-machine energy draw, tracked incrementally when caps are active so
+  // growth never pushes a machine past its battery charge.
+  const std::vector<double>* caps = options.machineEnergyCaps;
+  std::vector<double> machineEnergy;
+  if (caps != nullptr) {
+    machineEnergy = schedule.machineLoads();
+    for (int r = 0; r < m; ++r) {
+      machineEnergy[static_cast<std::size_t>(r)] *= inst.machine(r).power();
+    }
+  }
+
   for (stats.rounds = 0; stats.rounds < options.maxRounds; ++stats.rounds) {
     if (stopRequested(options.cancel)) break;
     long transfersThisRound = 0;
@@ -77,6 +88,14 @@ RefineStats refineProfile(const Instance& inst, FractionalSchedule& schedule,
       const double slack = slackEngine.slack(grow.task, grow.machine);
       double eAdd = std::min(growFlops / mr.efficiency,
                              std::max(0.0, slack) * mr.power());
+      if (caps != nullptr &&
+          static_cast<std::size_t>(grow.machine) < caps->size()) {
+        eAdd = std::min(
+            eAdd, std::max(0.0, (*caps)[static_cast<std::size_t>(
+                                    grow.machine)] -
+                                    machineEnergy[static_cast<std::size_t>(
+                                        grow.machine)]));
+      }
       if (eAdd <= options.tol) continue;
 
       // Scan donors from the cheapest ψ upward (paper line 9's reverse
@@ -105,6 +124,11 @@ RefineStats refineProfile(const Instance& inst, FractionalSchedule& schedule,
             eTransfer * ms.efficiency;
 
         slackEngine.onTransfer(grow.machine, shrink.machine);
+        if (caps != nullptr) {
+          machineEnergy[static_cast<std::size_t>(grow.machine)] += eTransfer;
+          machineEnergy[static_cast<std::size_t>(shrink.machine)] -=
+              eTransfer;
+        }
 
         eAdd -= eTransfer;
         stats.energyMoved += eTransfer;

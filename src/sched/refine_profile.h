@@ -28,6 +28,13 @@ struct RefineOptions {
   /// Cooperative stop token, polled at round boundaries. The schedule stays
   /// valid on early exit (transfers are atomic); only optimality is lost.
   const CancelToken* cancel = nullptr;
+  /// Optional per-machine energy caps (J, indexed like the instance's
+  /// machines): the availability layer's battery charges (DESIGN.md §15).
+  /// Growth on machine r is additionally bounded by cap_r minus its current
+  /// energy draw; shrink moves only release energy, so a schedule that starts
+  /// under its caps stays under them. Null is bit-identical to a build
+  /// without this field.
+  const std::vector<double>* machineEnergyCaps = nullptr;
 };
 
 struct RefineStats {

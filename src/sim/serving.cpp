@@ -16,6 +16,7 @@
 #include "core/solver_registry.h"
 #include "sched/profile_cache.h"
 #include "sched/validator.h"
+#include "shard/coordinator.h"
 #include "sim/epoch_pipeline.h"
 #include "sim/renewable.h"
 #include "util/cancel.h"
@@ -57,6 +58,7 @@ const char* toString(IncidentKind kind) {
     case IncidentKind::kMachineDeparted: return "machine-departed";
     case IncidentKind::kBatteryBudgetCapped: return "battery-budget-capped";
     case IncidentKind::kBatteryExhausted: return "battery-exhausted";
+    case IncidentKind::kShardPriceDiverged: return "shard-price-diverged";
   }
   return "unknown";
 }
@@ -164,7 +166,24 @@ ServingStats runServingImpl(
   // Resolve the primary policy and the fallback chain through the solver
   // registry up front, so a typo fails the run at epoch 0 rather than at the
   // first faulty epoch.
-  const Solver& primary = resolveServingSolver(policy);
+  const Solver& basePrimary = resolveServingSolver(policy);
+  // Sharded serving wraps the primary in a run-local ShardedSolver: every
+  // existing dispatch path (sync, async pipeline, guarded chain) then treats
+  // the coordinated solve as a normal Solver. The coordinator is stateful
+  // (per-cell caches, warm-start slots), which is safe here because the
+  // driver keeps at most one solve in flight. Fallback attempts keep using
+  // registry solvers directly, so the safety net never depends on the shard
+  // layer.
+  std::unique_ptr<shard::ShardedSolver> shardedPrimary;
+  if (options.shards > 1) {
+    shard::ShardOptions shardOptions;
+    shardOptions.cells = options.shards;
+    shardOptions.seed = options.shardSeed;
+    shardedPrimary =
+        std::make_unique<shard::ShardedSolver>(basePrimary, shardOptions);
+  }
+  const Solver& primary =
+      shardedPrimary != nullptr ? *shardedPrimary : basePrimary;
   std::vector<const Solver*> chain;
   chain.reserve(options.fallbackChain.size());
   for (const std::string& name : options.fallbackChain) {
@@ -197,7 +216,10 @@ ServingStats runServingImpl(
   // run's epochs like the cache. Results are bit-identical with or without
   // it — the pool only changes where the work runs.
   std::unique_ptr<ThreadPool> solverPool;
-  if (options.parallelCachedEval && wantsPool) {
+  // Sharded runs always get a pool: the coordinator fans the per-cell
+  // solves out on it (cells run their own fan-outs inline on the workers).
+  // Pool placement never changes results — reductions are index-ordered.
+  if ((options.parallelCachedEval && wantsPool) || shardedPrimary != nullptr) {
     solverPool = std::make_unique<ThreadPool>(options.solverThreads);
   }
   // Cross-epoch LP warm-start slot, carried like the cache: one epoch's
@@ -286,6 +308,22 @@ ServingStats runServingImpl(
   std::size_t next = 0;  // next unconsumed arrival
 
   ServingStats stats;
+  // Fold the coordinator's per-solve stats into the run totals after every
+  // sharded primary solve; a price loop that hit its cap outside the budget
+  // tolerance is logged as an incident (payload: the accepted λ).
+  const auto noteShard = [&](long long epoch) {
+    if (shardedPrimary == nullptr) return;
+    const shard::ShardStats& ss = shardedPrimary->lastStats();
+    ++stats.shardedEpochs;
+    stats.shardPriceIterations += ss.priceIterations;
+    stats.shardTopUpCells += ss.topUpCells;
+    stats.shardTopUpEnergy += ss.topUpEnergy;
+    if (!ss.converged) {
+      ++stats.shardPriceDivergences;
+      stats.incidents.push_back(
+          {epoch, IncidentKind::kShardPriceDiverged, ss.finalPrice});
+    }
+  };
   double accuracySum = 0.0;
   double latencySum = 0.0;
   const auto finalize = [&](const Active& req) {
@@ -598,12 +636,15 @@ ServingStats runServingImpl(
         if (asyncPrimary.submitted) {
           SolveOutcome outcome = asyncPrimary.fut.get();
           noteLp(outcome);
+          noteShard(epoch);
           DSCT_CHECK_MSG(outcome.schedule.has_value(),
                          "solver '" << primary.name()
                                     << "' returned no integral schedule");
           return std::move(*outcome.schedule);
         }
-        return scheduleEpoch(primary, inst);
+        IntegralSchedule s = scheduleEpoch(primary, inst);
+        noteShard(epoch);
+        return s;
       }
       // depth 0 = the primary policy, depth k = the k-th fallback attempt.
       // Injected failures fail every attempt below the trace's
@@ -655,6 +696,7 @@ ServingStats runServingImpl(
               isAsyncPrimary ? asyncPrimary.fut.get()
                              : solveWithCancel(solver, inst, activeToken);
           noteLp(outcome);
+          if (depth == 0) noteShard(epoch);
           cancelledOutcome = outcome.cancelled();
           if (!cancelledOutcome) {
             // Inside the try: a missing schedule is a policy failure the
@@ -699,8 +741,10 @@ ServingStats runServingImpl(
         for (const Solver* fb : chain) {
           // A chain entry equal to the primary would just repeat the failed
           // attempt; skip it (this reproduces the historical "edf3 does not
-          // fall back to itself" rule under the default chain).
-          if (fb == &primary) continue;
+          // fall back to itself" rule under the default chain). Sharded runs
+          // compare against the inner solver — an unsharded retry of the
+          // same algorithm is still the same failed attempt.
+          if (fb == &basePrimary) continue;
           s = attempt(*fb, depth++);
           if (s.has_value()) {
             ++stats.fallbacks;

@@ -161,6 +161,18 @@ struct ServingOptions {
   /// or off (pinned by tests/solver_warm_start_test.cpp); only the pivot
   /// work differs — see ServingStats' lp* counters.
   bool lpWarmStarts = true;
+  /// Shard the primary policy's epoch solves into K budget-partitioned
+  /// cells coordinated by the Lagrangian energy-price loop (DESIGN.md §18,
+  /// shard/coordinator.h): the epoch instance is split deterministically,
+  /// the global budget is priced across the cells, the cells solve in
+  /// parallel on the run's worker pool, and leftover energy tops up
+  /// budget-bound cells. <= 1 (default) keeps the unsharded path
+  /// bit-identically (tests/serving_shard_test.cpp pins this). Fallback
+  /// attempts stay unsharded — a shard-layer problem must not take the
+  /// safety net down with it.
+  int shards = 0;
+  /// Partitioner seed for the sharded path (see shard::PartitionOptions).
+  std::uint64_t shardSeed = 0;
 };
 
 /// One line of the per-epoch incident log.
@@ -176,6 +188,8 @@ enum class IncidentKind {
   kMachineDeparted,   ///< machines out of the fleet this epoch (availability)
   kBatteryBudgetCapped,  ///< epoch budget capped at the fleet's stored energy
   kBatteryExhausted,  ///< machines whose battery ran dry mid-epoch
+  kShardPriceDiverged,  ///< shard price loop hit its iteration cap without
+                        ///< reaching the budget tolerance (payload: final λ)
 };
 
 const char* toString(IncidentKind kind);
@@ -239,6 +253,14 @@ struct ServingStats {
   int batteryExhaustions = 0;  ///< machines cut mid-epoch by an empty store
   int batteryCappedEpochs = 0; ///< epochs whose budget the fleet's stored
                                ///< energy capped below the granted budget
+
+  // Shard-coordinator counters (all zero when ServingOptions::shards <= 1).
+  int shardedEpochs = 0;                ///< primary solves that ran sharded
+  long long shardPriceIterations = 0;   ///< Σ outer price-loop iterations
+  int shardTopUpCells = 0;              ///< Σ cells re-solved by top-up
+  double shardTopUpEnergy = 0.0;        ///< Σ Joules granted by top-up
+  int shardPriceDivergences = 0;        ///< solves whose price loop hit its
+                                        ///< cap outside the budget tolerance
   std::vector<EpochIncident> incidents;
 
   // Cross-solve ProfileCache traffic over the whole run (all zero when

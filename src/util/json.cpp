@@ -1,0 +1,158 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+#include "util/check.h"
+
+namespace dsct {
+
+Json::Json(bool value) : kind_(Kind::kBool), bool_(value) {}
+Json::Json(int value) : kind_(Kind::kNumber), number_(value) {}
+Json::Json(long long value)
+    : kind_(Kind::kNumber), number_(static_cast<double>(value)) {}
+Json::Json(double value) : kind_(Kind::kNumber), number_(value) {}
+Json::Json(const char* value) : kind_(Kind::kString), string_(value) {}
+Json::Json(std::string value)
+    : kind_(Kind::kString), string_(std::move(value)) {}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  DSCT_CHECK_MSG(kind_ == Kind::kObject, "Json::set on a non-object");
+  for (auto& [name, member] : members_) {
+    if (name == key) {
+      member = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  DSCT_CHECK_MSG(kind_ == Kind::kArray, "Json::push on a non-array");
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+namespace {
+
+void appendEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void appendNumber(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  // Integral values print without an exponent or trailing zeros so counters
+  // stay readable; everything else round-trips at max_digits10.
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.*g",
+                std::numeric_limits<double>::max_digits10, value);
+  out += buf;
+}
+
+void appendIndent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth),
+             ' ');
+}
+
+}  // namespace
+
+void Json::dumpTo(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kNumber: appendNumber(out, number_); break;
+    case Kind::kString: appendEscaped(out, string_); break;
+    case Kind::kArray: {
+      if (items_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out += ',';
+        appendIndent(out, indent, depth + 1);
+        items_[i].dumpTo(out, indent, depth + 1);
+      }
+      appendIndent(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out += ',';
+        appendIndent(out, indent, depth + 1);
+        appendEscaped(out, members_[i].first);
+        out += indent > 0 ? ": " : ":";
+        members_[i].second.dumpTo(out, indent, depth + 1);
+      }
+      appendIndent(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dumpTo(out, indent, 0);
+  return out;
+}
+
+bool Json::writeFile(const std::string& path, const Json& value, int indent) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << value.dump(indent) << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace dsct

@@ -1,0 +1,60 @@
+// Minimal JSON value + writer for machine-readable bench output (no
+// external dependencies). Benches print human tables to stdout and emit a
+// BENCH_<name>.json next to the executable so downstream tooling (report
+// generators, CI trend tracking) can consume runs without scraping text.
+//
+// The value model is the usual tree: null, bool, number, string, array,
+// object. Objects preserve insertion order. Numbers serialise with
+// max_digits10 so a round-trip is lossless; non-finite doubles become null
+// (JSON has no literal for them).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dsct {
+
+class Json {
+ public:
+  Json() = default;  ///< null
+  Json(bool value);
+  Json(int value);
+  Json(long long value);
+  Json(double value);
+  Json(const char* value);
+  Json(std::string value);
+
+  static Json object();
+  static Json array();
+
+  /// Object member (creates/overwrites); dies on non-objects.
+  Json& set(const std::string& key, Json value);
+  /// Array append; dies on non-arrays.
+  Json& push(Json value);
+
+  bool isObject() const { return kind_ == Kind::kObject; }
+  bool isArray() const { return kind_ == Kind::kArray; }
+
+  /// Serialise; `indent` spaces per level, 0 = compact single line.
+  std::string dump(int indent = 2) const;
+
+  /// dump() to `path` with a trailing newline; false on I/O failure.
+  static bool writeFile(const std::string& path, const Json& value,
+                        int indent = 2);
+
+ private:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  void dumpTo(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace dsct

@@ -523,6 +523,13 @@ class Parser {
         s.availabilityEnabled = true;
       } else if (kl.key == "avail seed") {
         s.availSeed = parseSeed(kl);
+      } else if (kl.key == "shards") {
+        const double v = parseSingleNumber(kl);
+        require(v >= 0.0 && v == std::floor(v), kl,
+                "must be a non-negative integer (cell count)");
+        s.shards = static_cast<int>(v);
+      } else if (kl.key == "shard seed") {
+        s.shardSeed = parseSeed(kl);
       } else {
         fail(kl.line, "unknown key '" + kl.key + "' in serving block");
       }
@@ -688,6 +695,8 @@ sim::ServingOptions makeServingOptions(const Scenario& scenario) {
   o.availability.batteryCapacityJoules = s.batteryCapacityJoules;
   o.availability.batteryInitialFraction = s.batteryInitialFraction;
   o.availability.rechargeWatts = s.rechargeWatts;
+  o.shards = s.shards;
+  o.shardSeed = s.shardSeed;
   return o;
 }
 

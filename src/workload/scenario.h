@@ -156,6 +156,10 @@ struct ServingBlock {
   double batteryInitialFraction = 1.0;
   double rechargeWatts = 0.0;
   std::uint64_t availSeed = 2025;
+  /// Cell count for the sharded primary (ServingOptions::shards); <= 1 keeps
+  /// the unsharded path.
+  int shards = 0;
+  std::uint64_t shardSeed = 0;
   int line = 0;
 
   friend bool operator==(const ServingBlock&, const ServingBlock&) = default;

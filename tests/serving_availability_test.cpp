@@ -148,9 +148,11 @@ TEST(AvailabilityServing, AllDepartedEpochsCountAsNoMachineEpochs) {
 // --------------------------------------------------------------- battery --
 
 TEST(AvailabilityServing, BatteryExhaustionSpillsThroughRetryPath) {
-  // Uncapped global budget + tight stores: the solver over-assigns, the cut
-  // machines interrupt mid-epoch, and the residuals re-enter later batches
-  // exactly like crash-interrupted requests.
+  // Uncapped global budget + tight stores: an availability-unaware solver
+  // (edf runs everything uncompressed) over-assigns, the cut machines
+  // interrupt mid-epoch, and the residuals re-enter later batches exactly
+  // like crash-interrupted requests. approx no longer qualifies — it
+  // advertises availabilityAware and projects the charge caps itself.
   const auto machines = machinesFromCatalog({"T4", "V100"});
   auto options = referenceOptions();
   options.carryBacklog = true;
@@ -160,7 +162,7 @@ TEST(AvailabilityServing, BatteryExhaustionSpillsThroughRetryPath) {
   options.availability.batteryCapacityJoules = 10.0;
   options.availability.rechargeWatts = 15.0;
   options.availability.capGlobalBudget = false;
-  const auto s = sim::runServing(machines, sim::Policy::kApprox, options);
+  const auto s = sim::runServing(machines, std::string("edf"), options);
   EXPECT_GT(s.batteryExhaustions, 0);
   EXPECT_GT(s.interruptions, 0);
   EXPECT_GT(s.retries, 0);
@@ -197,21 +199,23 @@ TEST(AvailabilityServing, GlobalBudgetCapBoundsEnergyByStoredCharge) {
 // ---------------------------------------------- capability-gated solvers --
 
 TEST(AvailabilityServing, AvailabilityAwareEdf3RespectsPerMachineCharge) {
-  // edf3 advertises availabilityAware and receives the per-machine charge
-  // caps, so it never over-assigns a battery; approx (not aware) relies on
-  // the execution-side cut under the same configuration.
+  // Solvers that advertise availabilityAware (edf3, approx, levels-opt)
+  // receive the per-machine charge caps and never over-assign a battery;
+  // edf (not aware) relies on the execution-side cut under the same
+  // configuration and exhausts stores.
   const auto machines = machinesFromCatalog({"T4", "V100", "P100"});
   auto options = referenceOptions();
   options.carryBacklog = true;
   options.availability.enabled = true;
   options.availability.batteryCapacityJoules = 12.0;
   options.availability.rechargeWatts = 0.0;
-  const auto aware =
-      sim::runServing(machines, std::string("edf3"), options);
-  EXPECT_EQ(aware.batteryExhaustions, 0);
-  EXPECT_EQ(countIncidents(aware, sim::IncidentKind::kBatteryExhausted), 0);
-  const auto unaware =
-      sim::runServing(machines, std::string("approx"), options);
+  for (const char* aware : {"edf3", "approx", "levels-opt"}) {
+    SCOPED_TRACE(aware);
+    const auto s = sim::runServing(machines, std::string(aware), options);
+    EXPECT_EQ(s.batteryExhaustions, 0);
+    EXPECT_EQ(countIncidents(s, sim::IncidentKind::kBatteryExhausted), 0);
+  }
+  const auto unaware = sim::runServing(machines, std::string("edf"), options);
   EXPECT_GT(unaware.batteryExhaustions, 0);
 }
 

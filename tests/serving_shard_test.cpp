@@ -1,0 +1,160 @@
+// Sharded serving (ServingOptions::shards): the coordinator wired through
+// the serving loop, its stats and incidents, and the scenario DSL keys.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sim/serving.h"
+#include "workload/gpu_catalog.h"
+#include "workload/scenario.h"
+
+namespace dsct {
+namespace {
+
+sim::ServingOptions baseOptions() {
+  sim::ServingOptions options;
+  options.arrivalRatePerSecond = 8.0;
+  options.horizonSeconds = 4.0;
+  options.epochSeconds = 0.5;
+  options.energyBudgetPerEpoch = 30.0;
+  options.relDeadlineLo = 0.5;
+  options.relDeadlineHi = 2.0;
+  options.thetaLo = 0.1;
+  options.thetaHi = 1.0;
+  options.seed = 23;
+  options.carryBacklog = true;
+  return options;
+}
+
+std::vector<Machine> fleet() {
+  return machinesFromCatalog({"T4", "V100", "A100", "T4"});
+}
+
+TEST(ServingShard, ShardsZeroAndOneMatchUnsharded) {
+  const auto machines = fleet();
+  const sim::ServingStats plain =
+      sim::runServing(machines, std::string("approx"), baseOptions());
+  for (const int shards : {0, 1}) {
+    sim::ServingOptions options = baseOptions();
+    options.shards = shards;
+    const sim::ServingStats sharded =
+        sim::runServing(machines, std::string("approx"), options);
+    EXPECT_EQ(sharded.meanAccuracy, plain.meanAccuracy) << shards;
+    EXPECT_EQ(sharded.totalEnergy, plain.totalEnergy) << shards;
+    EXPECT_EQ(sharded.served, plain.served) << shards;
+    EXPECT_EQ(sharded.deadlineMisses, plain.deadlineMisses) << shards;
+  }
+}
+
+TEST(ServingShard, ShardedRunReportsCoordinatorStats) {
+  sim::ServingOptions options = baseOptions();
+  options.shards = 2;
+  options.shardSeed = 5;
+  const sim::ServingStats stats =
+      sim::runServing(fleet(), std::string("approx"), options);
+  EXPECT_GT(stats.served, 0);
+  EXPECT_GT(stats.shardedEpochs, 0);
+  EXPECT_EQ(stats.shardedEpochs, stats.epochs);
+  EXPECT_GE(stats.shardPriceIterations, stats.shardedEpochs);
+  EXPECT_GE(stats.shardTopUpEnergy, 0.0);
+  EXPECT_EQ(stats.shardPriceDivergences, 0);
+}
+
+TEST(ServingShard, ShardedRunIsReplayable) {
+  sim::ServingOptions options = baseOptions();
+  options.shards = 3;
+  const sim::ServingStats a =
+      sim::runServing(fleet(), std::string("approx"), options);
+  const sim::ServingStats b =
+      sim::runServing(fleet(), std::string("approx"), options);
+  EXPECT_EQ(a.meanAccuracy, b.meanAccuracy);
+  EXPECT_EQ(a.totalEnergy, b.totalEnergy);
+  EXPECT_EQ(a.shardPriceIterations, b.shardPriceIterations);
+  EXPECT_EQ(a.shardTopUpEnergy, b.shardTopUpEnergy);
+}
+
+TEST(ServingShard, FallbacksStayUnsharded) {
+  // A sharded primary with a fallback chain: fallback attempts resolve the
+  // raw registry solvers, so a fallback solve must not be double-counted in
+  // the shard stats (only primary solves are).
+  sim::ServingOptions options = baseOptions();
+  options.shards = 2;
+  options.fallbackChain = {"edf3", "edf"};
+  const sim::ServingStats stats =
+      sim::runServing(fleet(), std::string("approx"), options);
+  EXPECT_GT(stats.served, 0);
+  EXPECT_LE(stats.shardedEpochs, stats.epochs);
+}
+
+TEST(ServingShard, ScenarioKeysParseAndMaterialize) {
+  const char* text = R"(
+scenario {
+  name: sharded
+  seed: 3
+}
+machine class {
+  name: pool
+  gpus: T4, V100
+  count: 2
+}
+task class {
+  name: web
+  arrival: poisson 10
+  theta: 0.1 1.0
+  deadline: 0.5 2.0
+}
+serving {
+  horizon: 4
+  epoch: 0.5
+  budget: 25
+  policy: approx
+  shards: 3
+  shard seed: 77
+}
+)";
+  const Scenario sc = parseScenario(text, "sharded.dsct");
+  EXPECT_EQ(sc.serving.shards, 3);
+  EXPECT_EQ(sc.serving.shardSeed, 77u);
+  const sim::ServingOptions options = makeServingOptions(sc);
+  EXPECT_EQ(options.shards, 3);
+  EXPECT_EQ(options.shardSeed, 77u);
+
+  const sim::ServingStats stats = sim::runServing(
+      materializeMachines(sc), sc.serving.policy, options);
+  EXPECT_GT(stats.shardedEpochs, 0);
+}
+
+TEST(ServingShard, ScenarioRejectsMalformedShards) {
+  const char* text = R"(
+machine class {
+  name: pool
+  gpus: T4
+}
+task class {
+  name: web
+  arrival: poisson 5
+}
+serving {
+  shards: -2
+}
+)";
+  EXPECT_THROW(parseScenario(text, "bad.dsct"), ScenarioError);
+}
+
+TEST(ServingShard, ShardedAvailabilityRunStaysSafe) {
+  // Shards + per-machine batteries: cell-sliced caps keep the aware solver
+  // from over-assigning any battery.
+  sim::ServingOptions options = baseOptions();
+  options.shards = 2;
+  options.availability.enabled = true;
+  options.availability.batteryCapacityJoules = 15.0;
+  options.availability.rechargeWatts = 5.0;
+  options.availability.seed = 11;
+  const sim::ServingStats stats =
+      sim::runServing(fleet(), std::string("approx"), options);
+  EXPECT_GT(stats.served, 0);
+  EXPECT_EQ(stats.batteryExhaustions, 0);
+}
+
+}  // namespace
+}  // namespace dsct

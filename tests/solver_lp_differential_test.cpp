@@ -23,6 +23,8 @@
 #include <array>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
@@ -193,6 +195,95 @@ TEST(LpDifferential, RandomGeneralLps) {
   // The generator must actually produce solvable draws, not a wall of
   // infeasible/unbounded models that trivially "agree".
   EXPECT_GE(optimalSeen, 20);
+}
+
+// ---- Golden corpus objectives: the oracle duty, frozen -------------------
+// The dense tableau's only remaining job is to be this file's reference
+// oracle. The table below freezes the revised engine's corpus objectives to
+// 17 significant digits so the regression signal survives the dense
+// engine's retirement: a future revised-simplex change that shifts any
+// objective fails here directly, no second engine needed.
+//
+// Regenerate after an intentional numeric change with:
+//   DSCT_REGEN_LP_GOLDEN=1 ./solver_lp_differential_test \
+//     --gtest_filter='*CorpusGoldenObjectives*'
+
+struct GoldenObjective {
+  std::uint64_t seed;
+  int caseIdx;  ///< -1 marks the goldenMidSizeInstance entry
+  double objective;
+};
+
+constexpr GoldenObjective kCorpusGolden[] = {
+    // clang-format off
+    // REGEN-BEGIN
+    {1, 0, 2.4599999999999995},
+    {1, 1, 6.5600000000000005},
+    {1, 2, 9.8467665965107347},
+    {1, 3, 10.961029950861743},
+    {1, 4, 0.86871946613953455},
+    {1, 5, 22.960000000000004},
+    {1, 6, 27.060000000000006},
+    {1, 7, 29.129866923023471},
+    {1, 8, 2.7900606057981303},
+    {1, 9, 0.97879048901893051},
+    {2, 0, 2.4599999999999995},
+    {2, 1, 6.5600000000000005},
+    {2, 2, 9.6510481322207351},
+    {2, 3, 10.584162199533854},
+    {2, 4, 1.0030090995954626},
+    {2, 5, 22.960000000000004},
+    {2, 6, 27.060000000000006},
+    {2, 7, 27.762855601959448},
+    {2, 8, 2.8665727958925196},
+    {2, 9, 0.67814042027757426},
+    {3, 0, 2.46},
+    {3, 1, 6.5600000000000005},
+    {3, 2, 10.619288793899234},
+    {3, 3, 10.780955642271483},
+    {3, 4, 0.8455491737927634},
+    {3, 5, 22.960000000000004},
+    {3, 6, 27.060000000000006},
+    {3, 7, 31.051150434899643},
+    {3, 8, 2.8775204773288743},
+    {3, 9, 0.65656885066430759},
+    {0, -1, 14.418573205489668},
+    // REGEN-END
+    // clang-format on
+};
+
+TEST(LpDifferential, CorpusGoldenObjectives) {
+  const bool regen = std::getenv("DSCT_REGEN_LP_GOLDEN") != nullptr;
+  if (regen) {
+    printf("    // REGEN-BEGIN\n");
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      for (int caseIdx = 0; caseIdx < 10; ++caseIdx) {
+        const DsctLp lp =
+            buildFractionalLp(testing::corpusInstance(seed, caseIdx));
+        const LpResult res = solveWith(lp.model, LpEngine::kRevised);
+        if (res.status != SolveStatus::kOptimal) continue;
+        printf("    {%llu, %d, %.17g},\n",
+               static_cast<unsigned long long>(seed), caseIdx, res.objective);
+      }
+    }
+    const DsctLp golden = buildFractionalLp(testing::goldenMidSizeInstance());
+    printf("    {0, -1, %.17g},\n",
+           solveWith(golden.model, LpEngine::kRevised).objective);
+    printf("    // REGEN-END\n");
+    GTEST_SKIP() << "regeneration run — paste the table above";
+  }
+  for (const GoldenObjective& g : kCorpusGolden) {
+    SCOPED_TRACE("seed=" + std::to_string(g.seed) +
+                 " case=" + std::to_string(g.caseIdx));
+    const Instance inst = g.caseIdx < 0
+                              ? testing::goldenMidSizeInstance()
+                              : testing::corpusInstance(g.seed, g.caseIdx);
+    const DsctLp lp = buildFractionalLp(inst);
+    const LpResult res = solveWith(lp.model, LpEngine::kRevised);
+    ASSERT_EQ(res.status, SolveStatus::kOptimal);
+    const double scale = std::max(1.0, std::abs(g.objective));
+    EXPECT_NEAR(res.objective, g.objective, kObjTol * scale);
+  }
 }
 
 // ---- Explicit constructions pinned to exact status -----------------------

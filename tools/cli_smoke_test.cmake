@@ -43,6 +43,12 @@ run_step(${CLI} serve --policy approx --horizon 2 --backlog --faults
          --max-retries 2 --load-factor 8 --incidents)
 run_step(${CLI} serve --policy levels-opt --fallback edf,edf3 --horizon 2
          --faults --fault-seed 99 --mtbf 1.5 --mttr 0.8 --incidents)
+# Sharded primary: the coordinator must run and report its price loop.
+run_step(${CLI} serve --policy approx --horizon 2 --backlog --shards 2
+         --shard-seed 11)
+if(NOT last_out MATCHES "sharded epochs")
+  message(FATAL_ERROR "serve --shards misses the shard section:\n${last_out}")
+endif()
 # Availability layer: departures + battery, with the incident log exported
 # as CSV.
 set(incidents_csv ${WORKDIR}/cli_incidents.csv)

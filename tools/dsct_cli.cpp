@@ -111,7 +111,7 @@ int usage() {
       "           [--avail] [--avail-seed N] [--depart-mtbf S]\n"
       "           [--depart-mean S] [--battery J] [--battery-init F]\n"
       "           [--recharge W] [--no-battery-cap] [--incidents-csv FILE]\n"
-      "           [--no-lp-warm]\n"
+      "           [--no-lp-warm] [--shards K] [--shard-seed N]\n"
       "\n"
       "NAME is any solver name or alias from `dsct_cli solvers`.\n";
   return 1;
@@ -410,6 +410,11 @@ int cmdServe(const Args& args) {
     if (args.has("recharge")) {
       sc.serving.rechargeWatts = args.getDouble("recharge", 0.0);
     }
+    if (args.has("shards")) sc.serving.shards = args.getInt("shards", 0);
+    if (args.has("shard-seed")) {
+      sc.serving.shardSeed =
+          static_cast<std::uint64_t>(args.getInt("shard-seed", 0));
+    }
     policy = args.get("policy", sc.serving.policy);
     machines = materializeMachines(sc);
     options = makeServingOptions(sc);
@@ -441,6 +446,9 @@ int cmdServe(const Args& args) {
     options.availability.batteryInitialFraction =
         args.getDouble("battery-init", 1.0);
     options.availability.rechargeWatts = args.getDouble("recharge", 0.0);
+    options.shards = args.getInt("shards", 0);
+    options.shardSeed =
+        static_cast<std::uint64_t>(args.getInt("shard-seed", 0));
   }
 
   const Solver* primary = SolverRegistry::instance().find(policy);
@@ -503,6 +511,13 @@ int cmdServe(const Args& args) {
               << "battery        : " << s.batteryExhaustions
               << " exhaustions, " << s.batteryCappedEpochs
               << " budget-capped epochs\n";
+  }
+  if (options.shards > 1) {
+    std::cout << "sharded epochs : " << s.shardedEpochs << " ("
+              << s.shardPriceIterations << " price iterations, "
+              << s.shardPriceDivergences << " divergences)\n"
+              << "shard top-ups  : " << s.shardTopUpCells << " cells, "
+              << s.shardTopUpEnergy << " J\n";
   }
   if (s.lpPivots > 0) {
     std::cout << "lp pivots      : " << s.lpPivots << " ("
